@@ -1,0 +1,175 @@
+// Package mobiwlan's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (run the full-size versions
+// with cmd/figures), plus micro-benchmarks of the hot substrate paths.
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigure*/BenchmarkTable* regenerates its experiment at a
+// reduced scale per iteration, so the benchmark both exercises the full
+// pipeline behind that figure and tracks its regeneration cost.
+package mobiwlan
+
+import (
+	"testing"
+
+	"mobiwlan/internal/beamforming"
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/experiments"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/phy"
+	"mobiwlan/internal/roaming"
+	"mobiwlan/internal/sim"
+	"mobiwlan/internal/stats"
+)
+
+// benchExperiment runs one registered experiment per iteration at a small
+// scale.
+func benchExperiment(b *testing.B, id string, scale float64) {
+	b.Helper()
+	runner, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.Config{Seed: 42, Scale: scale}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runner(cfg)
+		if res.Text == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B)   { benchExperiment(b, "fig1", 0.2) }
+func BenchmarkFigure2a(b *testing.B)  { benchExperiment(b, "fig2a", 0.2) }
+func BenchmarkFigure2b(b *testing.B)  { benchExperiment(b, "fig2b", 0.2) }
+func BenchmarkFigure2c(b *testing.B)  { benchExperiment(b, "fig2c", 0.2) }
+func BenchmarkFigure4(b *testing.B)   { benchExperiment(b, "fig4", 0.2) }
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1", 0.15) }
+func BenchmarkFigure6a(b *testing.B)  { benchExperiment(b, "fig6a", 0.15) }
+func BenchmarkFigure6b(b *testing.B)  { benchExperiment(b, "fig6b", 0.15) }
+func BenchmarkFigure7a(b *testing.B)  { benchExperiment(b, "fig7a", 0.2) }
+func BenchmarkFigure7b(b *testing.B)  { benchExperiment(b, "fig7b", 0.15) }
+func BenchmarkFigure8a(b *testing.B)  { benchExperiment(b, "fig8a", 0.2) }
+func BenchmarkFigure8b(b *testing.B)  { benchExperiment(b, "fig8b", 0.3) }
+func BenchmarkFigure8c(b *testing.B)  { benchExperiment(b, "fig8c", 0.3) }
+func BenchmarkFigure9a(b *testing.B)  { benchExperiment(b, "fig9a", 0.1) }
+func BenchmarkFigure9b(b *testing.B)  { benchExperiment(b, "fig9b", 0.1) }
+func BenchmarkFigure10a(b *testing.B) { benchExperiment(b, "fig10a", 0.1) }
+func BenchmarkFigure10b(b *testing.B) { benchExperiment(b, "fig10b", 0.1) }
+func BenchmarkFigure11a(b *testing.B) { benchExperiment(b, "fig11a", 0.1) }
+func BenchmarkFigure11b(b *testing.B) { benchExperiment(b, "fig11b", 0.1) }
+func BenchmarkFigure12a(b *testing.B) { benchExperiment(b, "fig12a", 0.1) }
+func BenchmarkFigure12b(b *testing.B) { benchExperiment(b, "fig12b", 0.1) }
+func BenchmarkFigure13(b *testing.B)  { benchExperiment(b, "fig13", 0.1) }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2", 1) }
+
+// --- substrate micro-benchmarks ---
+
+func benchScenario(mode mobility.Mode) (*mobility.Scenario, *channel.Model) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 600
+	scen := mobility.NewScenario(mode, cfg, stats.NewRNG(7))
+	ch := channel.New(channel.DefaultConfig(), scen, stats.NewRNG(8))
+	return scen, ch
+}
+
+func BenchmarkChannelResponse(b *testing.B) {
+	_, ch := benchScenario(mobility.Macro)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ch.Response(float64(i%10000) * 0.01)
+	}
+}
+
+func BenchmarkChannelMeasure(b *testing.B) {
+	_, ch := benchScenario(mobility.Macro)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ch.Measure(float64(i%10000) * 0.01)
+	}
+}
+
+func BenchmarkCSISimilarity(b *testing.B) {
+	_, ch := benchScenario(mobility.Micro)
+	m1 := ch.Measure(0).CSI
+	m2 := ch.Measure(0.05).CSI
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = csi.Similarity(m1, m2)
+	}
+}
+
+func BenchmarkEffectiveSNR(b *testing.B) {
+	_, ch := benchScenario(mobility.Static)
+	m := ch.Measure(0).CSI
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = phy.EffectiveSNRdB(m, 25)
+	}
+}
+
+func BenchmarkClassifierPipeline(b *testing.B) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 5
+	scen := mobility.NewScenario(mobility.Macro, cfg, stats.NewRNG(3))
+	pc := core.DefaultPipelineConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.RunScenario(scen, pc, uint64(i))
+	}
+}
+
+func BenchmarkLinkSimSecond(b *testing.B) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 1
+	scen := mobility.NewScenario(mobility.Macro, cfg, stats.NewRNG(4))
+	opt := sim.MotionAwareLinkOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sim.RunLink(scen, opt, uint64(i))
+	}
+}
+
+func BenchmarkRoamingRunSecond(b *testing.B) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 1
+	scen := mobility.NewScenario(mobility.Macro, cfg, stats.NewRNG(5))
+	runner := roaming.NewRunner(roaming.DefaultPlan())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runner.Run(scen, roaming.NewMobilityAware(), uint64(i))
+	}
+}
+
+func BenchmarkZFPrecoder(b *testing.B) {
+	rng := stats.NewRNG(6)
+	mk := func() *csi.Matrix {
+		m := csi.NewMatrix(52, 3, 1)
+		for sc := 0; sc < 52; sc++ {
+			for tx := 0; tx < 3; tx++ {
+				m.Set(sc, tx, 0, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+		return m
+	}
+	a, c, d := mk(), mk(), mk()
+	rows := make([][]complex128, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := i % 52
+		rows[0] = a.ColumnAt(sc, 0)
+		rows[1] = c.ColumnAt(sc, 0)
+		rows[2] = d.ColumnAt(sc, 0)
+		_ = beamforming.ZFWeights(rows)
+	}
+}

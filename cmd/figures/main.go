@@ -1,0 +1,88 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures [-id fig2b,table1|all] [-seed N] [-scale S] [-csv DIR] [-list]
+//
+// Each experiment prints its rendered table and notes to stdout; -csv
+// additionally writes one CSV file per figure series for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mobiwlan/internal/experiments"
+)
+
+func main() {
+	var (
+		idFlag   = flag.String("id", "all", "comma-separated experiment IDs, or 'all'")
+		seed     = flag.Uint64("seed", 2014, "root RNG seed")
+		scale    = flag.Float64("scale", 1, "workload scale (1 = published defaults)")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV series into")
+		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *idFlag == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*idFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	for _, id := range ids {
+		runner, ok := experiments.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := runner(cfg)
+		fmt.Println(res.Text)
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", res.ID, time.Since(start).Seconds())
+		if *csvDir != "" && len(res.Series) > 0 {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, res experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, res.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "series,%s,value\n", res.XLabel)
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(f, "%s,%g,%g\n", s.Name, p.X, p.Y)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobiwlan/internal/experiments"
+	"mobiwlan/internal/stats"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	res := experiments.Result{
+		ID:     "figX",
+		XLabel: "x",
+		Series: []stats.Series{
+			{Name: "a", Points: []stats.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}},
+		},
+	}
+	if err := writeCSV(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "figX.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(b)
+	if !strings.HasPrefix(got, "series,x,value\n") {
+		t.Fatalf("header wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "a,1,2\n") || !strings.Contains(got, "a,3,4\n") {
+		t.Fatalf("rows wrong:\n%s", got)
+	}
+}

@@ -1,0 +1,336 @@
+// Command mobisim runs individual pieces of the mobility-aware WLAN
+// simulator from the command line.
+//
+// Subcommands:
+//
+//	classify  - run the PHY-layer mobility classifier over a scenario
+//	link      - closed-loop single-link run (rate control + aggregation)
+//	wlan      - walk through the 6-AP floor with the full stack
+//	roam      - roaming-policy comparison on one walk
+//	subf      - single-user beamforming with a chosen feedback period
+//
+// Every subcommand takes -seed and -duration; see -h of each for more.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobiwlan/internal/aggregation"
+	"mobiwlan/internal/beamforming"
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/mac"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/ratecontrol"
+	"mobiwlan/internal/roaming"
+	"mobiwlan/internal/sched"
+	"mobiwlan/internal/sim"
+	"mobiwlan/internal/stats"
+	"mobiwlan/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "classify":
+		cmdClassify(args)
+	case "link":
+		cmdLink(args)
+	case "wlan":
+		cmdWLAN(args)
+	case "roam":
+		cmdRoam(args)
+	case "subf":
+		cmdSUBF(args)
+	case "mumimo":
+		cmdMUMIMO(args)
+	case "sched":
+		cmdSched(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mobisim <classify|link|wlan|roam|subf|mumimo|sched> [flags]")
+}
+
+// parseMode maps a CLI mode name to scenario construction inputs.
+func buildScenario(mode string, duration float64, seed uint64) (*mobility.Scenario, error) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = duration
+	rng := stats.NewRNG(seed)
+	switch mode {
+	case "static":
+		return mobility.NewScenario(mobility.Static, cfg, rng), nil
+	case "environmental", "env":
+		return mobility.NewScenario(mobility.Environmental, cfg, rng), nil
+	case "micro":
+		return mobility.NewScenario(mobility.Micro, cfg, rng), nil
+	case "macro":
+		return mobility.NewScenario(mobility.Macro, cfg, rng), nil
+	case "toward":
+		return mobility.NewMacroScenario(mobility.HeadingToward, cfg, rng), nil
+	case "away":
+		return mobility.NewMacroScenario(mobility.HeadingAway, cfg, rng), nil
+	case "circle":
+		return mobility.NewCircleScenario(cfg, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (static|env|micro|macro|toward|away|circle)", mode)
+	}
+}
+
+func cmdClassify(args []string) {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	mode := fs.String("mode", "macro", "ground-truth scenario mode")
+	duration := fs.Float64("duration", 30, "seconds")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	fs.Parse(args)
+
+	scen, err := buildScenario(*mode, *duration, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		os.Exit(2)
+	}
+	decisions := core.RunScenario(scen, core.DefaultPipelineConfig(), *seed+1)
+	var last core.State = -1
+	for _, d := range decisions {
+		if d.State != last {
+			fmt.Printf("t=%6.2fs  state=%-13s truth=%s\n", d.Time, d.State, d.Truth)
+			last = d.State
+		}
+	}
+	fmt.Printf("\naccuracy (after 6 s warmup): %.1f%%\n", 100*core.Accuracy(decisions, 6))
+}
+
+func cmdLink(args []string) {
+	fs := flag.NewFlagSet("link", flag.ExitOnError)
+	mode := fs.String("mode", "macro", "ground-truth scenario mode")
+	duration := fs.Float64("duration", 20, "seconds")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	aware := fs.Bool("motion-aware", false, "use the mobility-aware stack")
+	traffic := fs.String("traffic", "udp", "udp|tcp|cbr:<Mbps>")
+	power := fs.Float64("power", channel.DefaultConfig().TxPowerDBm, "AP transmit power (dBm)")
+	fs.Parse(args)
+
+	scen, err := buildScenario(*mode, *duration, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		os.Exit(2)
+	}
+	opt := sim.DefaultLinkOptions()
+	if *aware {
+		opt = sim.MotionAwareLinkOptions()
+	}
+	opt.Channel.TxPowerDBm = *power
+	switch {
+	case *traffic == "udp":
+		opt.Source = transport.Saturated{}
+	case *traffic == "tcp":
+		opt.Source = transport.NewTCPReno(1500)
+	default:
+		var rate float64
+		if _, err := fmt.Sscanf(*traffic, "cbr:%f", &rate); err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim: bad -traffic; want udp|tcp|cbr:<Mbps>")
+			os.Exit(2)
+		}
+		opt.Source = &transport.CBR{RateMbps: rate, MPDUBytes: 1500}
+	}
+	res := sim.RunLink(scen, opt, *seed+7)
+	fmt.Printf("throughput: %.1f Mbps over %.0f s (%d frames, %d MPDUs delivered)\n",
+		res.Mbps, *duration, res.Frames, res.DeliveredMPDUs)
+	if *aware {
+		fmt.Println("time per classifier state:")
+		for _, s := range []core.State{core.StateStatic, core.StateEnvironmental,
+			core.StateMicro, core.StateMacroAway, core.StateMacroToward} {
+			if d := res.StateDurations[s]; d > 0.05 {
+				fmt.Printf("  %-13s %.1f s\n", s, d)
+			}
+		}
+	}
+}
+
+func cmdWLAN(args []string) {
+	fs := flag.NewFlagSet("wlan", flag.ExitOnError)
+	duration := fs.Float64("duration", 30, "seconds")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	fs.Parse(args)
+
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = *duration
+	scen := mobility.NewScenario(mobility.Static, cfg, stats.NewRNG(*seed))
+	scen.Label = mobility.Macro
+	scen.Client = mobility.WaypointWalk{
+		Path:     crossFloorPath(),
+		Speed:    1.4,
+		PingPong: true,
+	}
+	def := sim.RunWLAN(scen, sim.DefaultWLANOptions(false), *seed+3)
+	aware := sim.RunWLAN(scen, sim.DefaultWLANOptions(true), *seed+3)
+	fmt.Printf("802.11n default: %.1f Mbps (%d handoffs, %d scans)\n", def.Mbps, def.Handoffs, def.Scans)
+	fmt.Printf("motion-aware:    %.1f Mbps (%d handoffs, %d scans)\n", aware.Mbps, aware.Handoffs, aware.Scans)
+	if def.Mbps > 0 {
+		fmt.Printf("gain: %+.0f%%\n", 100*(aware.Mbps/def.Mbps-1))
+	}
+}
+
+func cmdRoam(args []string) {
+	fs := flag.NewFlagSet("roam", flag.ExitOnError)
+	duration := fs.Float64("duration", 40, "seconds")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	fs.Parse(args)
+
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = *duration
+	scen := mobility.NewScenario(mobility.Static, cfg, stats.NewRNG(*seed))
+	scen.Label = mobility.Macro
+	scen.Client = mobility.WaypointWalk{Path: crossFloorPath(), Speed: 1.4, PingPong: true}
+
+	runner := roaming.NewRunner(roaming.DefaultPlan())
+	for _, pol := range []roaming.Policy{
+		roaming.NewDefault80211(), roaming.NewSensorHint(), roaming.NewMobilityAware(),
+	} {
+		res := runner.Run(scen, pol, *seed+9)
+		fmt.Printf("%-16s %.1f Mbps (%d handoffs, %d scans)\n",
+			pol.Name(), res.Mbps, res.Handoffs, res.Scans)
+	}
+}
+
+func cmdSUBF(args []string) {
+	fs := flag.NewFlagSet("subf", flag.ExitOnError)
+	mode := fs.String("mode", "macro", "ground-truth scenario mode")
+	duration := fs.Float64("duration", 10, "seconds")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	period := fs.Float64("period", 20, "CSI feedback period (ms); 0 = mobility-adaptive")
+	fs.Parse(args)
+
+	scen, err := buildScenario(*mode, *duration+6, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		os.Exit(2)
+	}
+	chCfg := channel.DefaultConfig()
+	chCfg.TxPowerDBm = -8 // cell edge, where beamforming matters
+	ch := channel.New(chCfg, scen, stats.NewRNG(*seed+2))
+	var sched beamforming.FeedbackScheduler = beamforming.FixedFeedback{T: *period / 1000}
+	var stateAt func(float64) core.State
+	if *period == 0 {
+		sched = beamforming.Adaptive{}
+		decisions := core.RunScenario(scen, core.DefaultPipelineConfig(), *seed+4)
+		stateAt = func(t float64) core.State {
+			for i := len(decisions) - 1; i >= 0; i-- {
+				if decisions[i].Time <= t {
+					return decisions[i].State
+				}
+			}
+			return core.StateUnknown
+		}
+	}
+	res := beamforming.RunSU(ch, sched, stateAt, beamforming.DefaultSUConfig(), *duration)
+	fmt.Printf("SU-BF (%s): %.1f Mbps, %d soundings, %.1f%% airtime on feedback\n",
+		sched.Name(), res.Mbps, res.Soundings, 100*res.FeedbackFraction)
+}
+
+// crossFloorPath is the Fig. 13(a)-style walking trajectory past several
+// APs of the default plan.
+func crossFloorPath() geom.Path {
+	return geom.NewPath(geom.Pt(4, 7), geom.Pt(46, 7), geom.Pt(46, 23), geom.Pt(4, 23))
+}
+
+func cmdMUMIMO(args []string) {
+	fs := flag.NewFlagSet("mumimo", flag.ExitOnError)
+	duration := fs.Float64("duration", 8, "seconds")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	period := fs.Float64("period", 20, "common CSI feedback period (ms); 0 = per-client adaptive")
+	fs.Parse(args)
+
+	modes := []mobility.Mode{mobility.Environmental, mobility.Micro, mobility.Macro}
+	users := make([]beamforming.MUUser, 3)
+	for i, mode := range modes {
+		rng := stats.NewRNG(*seed + uint64(i)*31)
+		mcfg := mobility.DefaultSceneConfig()
+		mcfg.Duration = *duration + 8
+		mcfg.EnvIntensity = 0.4
+		var scen *mobility.Scenario
+		if mode == mobility.Macro {
+			scen = mobility.NewMacroScenario(mobility.HeadingToward, mcfg, rng)
+		} else {
+			scen = mobility.NewScenario(mode, mcfg, rng)
+		}
+		chCfg := channel.DefaultConfig()
+		chCfg.NRx = 1
+		chCfg.TxPowerDBm = 4
+		u := beamforming.MUUser{Chan: channel.NewAt(chCfg, mcfg.AP, scen, rng.Split(9))}
+		if *period == 0 {
+			decisions := core.RunScenario(scen, core.DefaultPipelineConfig(), *seed+uint64(i))
+			u.Sched = beamforming.Adaptive{Table: beamforming.MUAdaptiveTable}
+			u.StateAt = func(t float64) core.State {
+				for j := len(decisions) - 1; j >= 0; j-- {
+					if decisions[j].Time <= t {
+						return decisions[j].State
+					}
+				}
+				return core.StateUnknown
+			}
+		} else {
+			u.Sched = beamforming.FixedFeedback{T: *period / 1000}
+		}
+		users[i] = u
+	}
+	res := beamforming.RunMU(users, beamforming.DefaultMUConfig(), *duration)
+	for i, mode := range modes {
+		fmt.Printf("%-14s %6.1f Mbps\n", mode, res.PerUserMbps[i])
+	}
+	fmt.Printf("%-14s %6.1f Mbps (feedback airtime %.1f%%)\n",
+		"total", res.TotalMbps, 100*res.FeedbackFraction)
+}
+
+func cmdSched(args []string) {
+	fs := flag.NewFlagSet("sched", flag.ExitOnError)
+	duration := fs.Float64("duration", 14, "seconds")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	fs.Parse(args)
+
+	mkClients := func() []sched.Client {
+		mk := func(i int, scen *mobility.Scenario) sched.Client {
+			chCfg := channel.DefaultConfig()
+			chCfg.TxPowerDBm = 2
+			ch := channel.New(chCfg, scen, stats.NewRNG(*seed+uint64(i)*31+5))
+			return sched.Client{
+				Link:    mac.NewLink(ch, stats.NewRNG(*seed+uint64(i)*31+9)),
+				Adapter: ratecontrol.NewAtheros(ratecontrol.DefaultLinkConfig()),
+				StateAt: sim.OracleStateFunc(scen),
+			}
+		}
+		mcfg := mobility.DefaultSceneConfig()
+		mcfg.Duration = *duration
+		away := mobility.NewMacroScenario(mobility.HeadingAway, mcfg, stats.NewRNG(*seed+1))
+		toward := mobility.NewMacroScenario(mobility.HeadingToward, mcfg, stats.NewRNG(*seed+2))
+		static := mobility.NewScenario(mobility.Static, mcfg, stats.NewRNG(*seed+3))
+		return []sched.Client{mk(0, away), mk(1, toward), mk(2, static)}
+	}
+	for _, pol := range []sched.Policy{&sched.RoundRobin{}, sched.AirtimeFair{}, sched.MobilityAware{}} {
+		res := sched.Run(mkClients(), pol, aggregation.Adaptive{}, *duration)
+		fmt.Printf("%-16s total %6.1f Mbps  Jain %.2f  per-client %v\n",
+			pol.Name(), res.TotalMbps, res.JainFairness, fmtSlice(res.PerClientMbps))
+	}
+}
+
+func fmtSlice(xs []float64) string {
+	out := "["
+	for i, x := range xs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.1f", x)
+	}
+	return out + "]"
+}

@@ -1,0 +1,123 @@
+// Command tracegen captures PHY-layer traces (CSI, RSSI, distance) from
+// the channel simulator into JSON Lines, for use with the replay-based
+// experiments and external analysis.
+//
+// Usage:
+//
+//	tracegen -mode macro -duration 30 -interval 0.05 -seed 7 -o trace.jsonl
+//
+// With -summarize FILE it instead reads a trace and prints summary
+// statistics (the round-trip check for recorded traces).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+	"mobiwlan/internal/traceio"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "macro", "scenario mode: static|env|micro|macro|toward|away")
+		duration  = flag.Float64("duration", 30, "trace length in seconds")
+		interval  = flag.Float64("interval", 0.05, "sampling interval in seconds")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		out       = flag.String("o", "-", "output file ('-' = stdout)")
+		summarize = flag.String("summarize", "", "read and summarize an existing trace instead")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := summary(*summarize); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = *duration
+	rng := stats.NewRNG(*seed)
+	var scen *mobility.Scenario
+	switch *mode {
+	case "static":
+		scen = mobility.NewScenario(mobility.Static, cfg, rng)
+	case "env", "environmental":
+		scen = mobility.NewScenario(mobility.Environmental, cfg, rng)
+	case "micro":
+		scen = mobility.NewScenario(mobility.Micro, cfg, rng)
+	case "macro":
+		scen = mobility.NewScenario(mobility.Macro, cfg, rng)
+	case "toward":
+		scen = mobility.NewMacroScenario(mobility.HeadingToward, cfg, rng)
+	case "away":
+		scen = mobility.NewMacroScenario(mobility.HeadingAway, cfg, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	ch := channel.New(channel.DefaultConfig(), scen, rng.Split(99))
+	recs := traceio.Capture(ch, *interval, *duration)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := traceio.Write(w, recs); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records (%.0f s at %.0f ms)\n",
+		len(recs), *duration, *interval*1000)
+}
+
+func summary(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := traceio.Read(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	var rssi, dist, sims []float64
+	var prev *csi.Matrix
+	for _, r := range recs {
+		rssi = append(rssi, r.RSSIdBm)
+		dist = append(dist, r.Distance)
+		m, err := r.Matrix()
+		if err != nil {
+			return err
+		}
+		if prev != nil {
+			sims = append(sims, csi.Similarity(prev, m))
+		}
+		prev = m
+	}
+	rp := traceio.NewReplay(recs)
+	fmt.Printf("records:            %d over %.1f s\n", rp.Len(), rp.Duration())
+	fmt.Printf("RSSI:               median %.1f dBm (min %.1f, max %.1f)\n",
+		stats.Median(rssi), stats.Min(rssi), stats.Max(rssi))
+	fmt.Printf("distance:           median %.1f m (min %.1f, max %.1f)\n",
+		stats.Median(dist), stats.Min(dist), stats.Max(dist))
+	fmt.Printf("CSI similarity:     median %.3f (5th pct %.3f)\n",
+		stats.Median(sims), stats.Percentile(sims, 5))
+	return nil
+}

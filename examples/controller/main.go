@@ -1,0 +1,159 @@
+// Controller: the paper's §3.1 coordination running over a real TCP
+// control plane. Three simulated APs watch the same walking client; each
+// runs the PHY-layer classifier over its own channel to the client and
+// streams mobility reports to the controller. When the serving AP reports
+// macro-away motion, the controller collects NULL-frame measurements from
+// the neighbors and — if one is stronger and being approached — orders
+// the forced disassociation, shown here as the actual 802.11 frame the AP
+// would transmit.
+//
+//	go run ./examples/controller
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/ctlproto"
+	"mobiwlan/internal/dot11"
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+	"mobiwlan/internal/tof"
+)
+
+func main() {
+	const duration = 20.0
+
+	// The client walks from AP a1's cell toward AP a2's.
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = duration
+	scen := mobility.NewScenario(mobility.Static, cfg, stats.NewRNG(3))
+	scen.Label = mobility.Macro
+	scen.Client = mobility.WaypointWalk{
+		Path:  geom.NewPath(geom.Pt(9, 8), geom.Pt(40, 8)),
+		Speed: 1.4,
+	}
+
+	apPos := map[string]geom.Point{
+		"a1": geom.Pt(8, 7), "a2": geom.Pt(25, 7), "a3": geom.Pt(42, 7),
+	}
+	chCfg := channel.DefaultConfig()
+	chCfg.TxPowerDBm = 5
+
+	srv, err := ctlproto.NewServer("127.0.0.1:0", ctlproto.NewCoordinator())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("controller listening on %s\n\n", srv.Addr())
+
+	clientMAC := dot11.MAC{0xaa, 0xbb, 0xcc, 0x00, 0x11, 0x22}
+	roamed := make(chan string, 1)
+
+	// Each AP: classifier over its channel, reports every second,
+	// answers measurement requests, executes roam directives.
+	for id, pos := range apPos {
+		id, pos := id, pos
+		go func() {
+			rng := stats.NewRNG(uint64(pos.X*1000 + pos.Y))
+			link := channel.NewAt(chCfg, pos, scen, rng.Split(1))
+			meter := tof.NewMeter(tof.DefaultConfig(), rng.Split(2))
+			cls := core.New(core.DefaultConfig())
+			trend := tof.NewTrendDetector(3, 0, 0.8)
+			var filter stats.MedianFilter
+
+			conn, err := ctlproto.Dial(srv.Addr(), id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer conn.Close()
+
+			serving := id == "a1" // the client associates with a1 at start
+			nextCSI, nextToF, nextReport, lastFlush := 0.0, 0.0, 1.0, 0.0
+			for t := 0.0; t < duration; t += 0.01 {
+				// Pace the simulated clock (~20x real time) so the TCP
+				// control plane keeps up with the radio plane.
+				time.Sleep(500 * time.Microsecond)
+				if serving && t >= nextCSI {
+					cls.ObserveCSI(t, link.Measure(t).CSI)
+					nextCSI += cls.Config().CSISamplePeriod
+				}
+				if t >= nextToF {
+					if serving && cls.ToFActive() {
+						cls.ObserveToF(t, meter.Raw(link.Distance(t)))
+					}
+					filter.Add(meter.Raw(link.Distance(t)))
+					nextToF += 0.02
+				}
+				if t-lastFlush >= 1 {
+					lastFlush = t
+					if med, ok := filter.Flush(); ok {
+						trend.Push(med)
+					}
+				}
+				if serving && t >= nextReport {
+					nextReport = t + 1
+					rssi := link.Measure(t).RSSIdBm
+					fmt.Printf("t=%4.1fs  %s reports client %s (%.0f dBm)\n",
+						t, id, cls.State(), rssi)
+					conn.ReportMobility(ctlproto.MobilityReport{
+						Client:  clientMAC.String(),
+						State:   cls.State(),
+						Time:    t,
+						RSSIdBm: rssi,
+					})
+				}
+				// Handle controller messages without blocking the loop.
+				select {
+				case env, ok := <-conn.Inbound:
+					if !ok {
+						return
+					}
+					switch env.Type {
+					case ctlproto.TypeMeasureRequest:
+						approaching := trend.Trend() == stats.TrendDecreasing
+						conn.ReportMeasurement(ctlproto.MeasureReport{
+							Client:      clientMAC.String(),
+							RSSIdBm:     link.Measure(t).RSSIdBm,
+							Approaching: approaching,
+							Time:        t,
+						})
+						fmt.Printf("t=%4.1fs  %s measured client: %.0f dBm, approaching=%v\n",
+							t, id, link.Measure(t).RSSIdBm, approaching)
+					case ctlproto.TypeRoamDirective:
+						d, err := ctlproto.DecodePayload[ctlproto.RoamDirective](env)
+						if err == nil && serving {
+							frame := &dot11.Disassociation{
+								Hdr:    dot11.Header{Addr1: clientMAC, Addr2: dot11.MAC{0, 0, 0, 0, 0, 1}},
+								Reason: 8,
+							}
+							b, _ := frame.Marshal()
+							fmt.Printf("t=%4.1fs  %s forces roam -> candidates %v\n",
+								t, id, d.Candidates)
+							fmt.Printf("         on-air disassociation frame (%d bytes): % x...\n",
+								len(b), b[:12])
+							select {
+							case roamed <- d.Candidates[0]:
+							default:
+							}
+							serving = false
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	select {
+	case target := <-roamed:
+		fmt.Printf("\nclient handed off to %s — the controller saw macro-away motion\n", target)
+		fmt.Println("at the serving AP and an approaching, stronger neighbor.")
+	case <-time.After(30 * time.Second):
+		fmt.Println("\nno roam occurred (client stayed in its cell)")
+	}
+}

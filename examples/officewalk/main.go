@@ -1,0 +1,50 @@
+// Office walk: a client walks laps through a six-AP office floor while
+// downloading. Compares the stock 802.11 stack against the paper's full
+// mobility-aware stack (classifier-driven rate control, adaptive frame
+// aggregation, and controller-based roaming).
+//
+//	go run ./examples/officewalk
+package main
+
+import (
+	"fmt"
+
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/roaming"
+	"mobiwlan/internal/sim"
+	"mobiwlan/internal/stats"
+)
+
+func main() {
+	const duration = 40.0
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = duration
+	scen := mobility.NewScenario(mobility.Static, cfg, stats.NewRNG(11))
+	scen.Label = mobility.Macro
+	scen.Client = mobility.WaypointWalk{
+		Path: geom.NewPath(
+			geom.Pt(4, 7), geom.Pt(46, 7), geom.Pt(46, 23), geom.Pt(4, 23),
+		),
+		Speed:    1.4,
+		PingPong: true,
+	}
+
+	plan := roaming.DefaultPlan()
+	fmt.Printf("floor plan: %d APs on a %.0fx%.0f m floor; %0.f s walk at 1.4 m/s\n\n",
+		len(plan.APs), cfg.Bounds.Width(), cfg.Bounds.Height(), duration)
+
+	def := sim.RunWLAN(scen, sim.DefaultWLANOptions(false), 99)
+	aware := sim.RunWLAN(scen, sim.DefaultWLANOptions(true), 99)
+
+	fmt.Printf("%-18s %10s %10s %8s\n", "stack", "Mbps", "handoffs", "scans")
+	fmt.Printf("%-18s %10.1f %10d %8d\n", "802.11n default", def.Mbps, def.Handoffs, def.Scans)
+	fmt.Printf("%-18s %10.1f %10d %8d\n", "motion-aware", aware.Mbps, aware.Handoffs, aware.Scans)
+	if def.Mbps > 0 {
+		fmt.Printf("\nmotion-aware gain: %+.0f%%\n", 100*(aware.Mbps/def.Mbps-1))
+	}
+	fmt.Println("\nThe default stack sticks to its AP until the signal collapses and")
+	fmt.Println("then scans blind; the motion-aware controller sees the client walking")
+	fmt.Println("away (CSI similarity + ToF trend) and hands it to the AP it is")
+	fmt.Println("approaching, while rate control and aggregation stay in mobile trim.")
+}

@@ -1,0 +1,58 @@
+// Walking call: a user on a video call walks from her desk toward the
+// building exit — away from her AP — while a background sync saturates
+// the downlink. Compares the stock 802.11n link (Atheros rate adaptation,
+// fixed 4 ms aggregation) against the paper's mobility-aware link: the
+// classifier flags macro-away motion, so rate control stops wasting
+// retries on a deteriorating channel, probes conservatively, and
+// aggregation drops to 2 ms frames the fast-changing channel can carry.
+//
+//	go run ./examples/videocall
+package main
+
+import (
+	"fmt"
+
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/sim"
+	"mobiwlan/internal/stats"
+)
+
+func main() {
+	const duration = 18.0
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = duration
+	scen := mobility.NewMacroScenario(mobility.HeadingAway, cfg, stats.NewRNG(5))
+
+	run := func(motionAware bool) sim.LinkResult {
+		opt := sim.DefaultLinkOptions()
+		if motionAware {
+			opt = sim.MotionAwareLinkOptions()
+		}
+		opt.Channel.TxPowerDBm = 2 // enterprise cell sizing
+		return sim.RunLink(scen, opt, 77)
+	}
+
+	def := run(false)
+	aware := run(true)
+
+	fmt.Printf("walking away from the AP for %.0f s with a saturated downlink:\n\n", duration)
+	fmt.Printf("%-18s %10s %10s\n", "link stack", "Mbps", "frames")
+	fmt.Printf("%-18s %10.1f %10d\n", "802.11n default", def.Mbps, def.Frames)
+	fmt.Printf("%-18s %10.1f %10d\n", "motion-aware", aware.Mbps, aware.Frames)
+	if def.Mbps > 0 {
+		fmt.Printf("\nmotion-aware gain: %+.0f%%\n", 100*(aware.Mbps/def.Mbps-1))
+	}
+
+	fmt.Println("\nclassifier state occupancy (motion-aware run):")
+	for _, s := range []core.State{core.StateStatic, core.StateEnvironmental,
+		core.StateMicro, core.StateMacroAway, core.StateMacroToward} {
+		if d := aware.StateDurations[s]; d > 0.1 {
+			fmt.Printf("  %-13s %5.1f s\n", s, d)
+		}
+	}
+	fmt.Println("\nThe ToF trend tells the AP the client is receding (macro-away), so")
+	fmt.Println("per the paper's Table 2 the rate controller down-shifts immediately on")
+	fmt.Println("loss, probes rarely, keeps only recent PER history, and the aggregation")
+	fmt.Println("limit drops to 2 ms.")
+}

@@ -1,0 +1,3 @@
+module mobiwlan
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package aoa implements Angle-of-Arrival estimation at the AP's antenna
+// array and the bearing-trend extension the paper proposes in §9: a client
+// circling the AP keeps a constant distance (no ToF trend, so the base
+// classifier reports micro-mobility), but its bearing sweeps steadily —
+// AoA catches exactly that case.
+//
+// The estimator is a classic delay-and-sum (Bartlett) scan over the
+// uniform linear array: for each candidate angle it phase-aligns the
+// per-antenna CSI and picks the angle maximizing combined power,
+// aggregated over subcarriers. A half-wavelength 3-element array resolves
+// bearing coarsely but robustly — enough for trend detection, exactly as
+// argued by ArrayTrack-style systems the paper cites (ref. [50]).
+package aoa
+
+import (
+	"math"
+	"math/cmplx"
+
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/stats"
+)
+
+// Estimator scans arrival angles for a uniform linear array.
+type Estimator struct {
+	// Antennas is the array size (the AP's NTx; the array is used in
+	// receive direction for client uplink frames).
+	Antennas int
+	// SpacingWavelengths is the element spacing in carrier wavelengths
+	// (0.5 for the standard half-wavelength array).
+	SpacingWavelengths float64
+	// ScanPoints is the number of candidate angles in [-90, +90] degrees.
+	ScanPoints int
+}
+
+// NewEstimator returns a Bartlett estimator for a half-wavelength ULA.
+func NewEstimator(antennas int) *Estimator {
+	return &Estimator{Antennas: antennas, SpacingWavelengths: 0.5, ScanPoints: 181}
+}
+
+// steering returns the array phase progression for a signal arriving from
+// angle theta (radians, broadside = 0): exp(-j*2*pi*d*sin(theta)*k).
+func (e *Estimator) steering(theta float64, k int) complex128 {
+	phase := -2 * math.Pi * e.SpacingWavelengths * math.Sin(theta) * float64(k)
+	return cmplx.Rect(1, phase)
+}
+
+// Estimate returns the dominant arrival angle in radians in [-pi/2, pi/2]
+// (relative to the array broadside) and the spectrum peak power relative
+// to the spectrum mean (>= 1; higher means a sharper, more reliable
+// bearing). The CSI matrix is read on its Tx dimension (the AP's array
+// observing the client's uplink); receive chain 0 is used.
+func (e *Estimator) Estimate(m *csi.Matrix) (theta float64, peak float64) {
+	if m == nil || m.NTx < 2 {
+		return 0, 0
+	}
+	n := e.Antennas
+	if n > m.NTx {
+		n = m.NTx
+	}
+	bestTheta, bestP := 0.0, -1.0
+	var totalP float64
+	points := e.ScanPoints
+	if points < 3 {
+		points = 3
+	}
+	for i := 0; i < points; i++ {
+		th := -math.Pi/2 + math.Pi*float64(i)/float64(points-1)
+		var p float64
+		for sc := 0; sc < m.Subcarriers; sc++ {
+			var sum complex128
+			for k := 0; k < n; k++ {
+				sum += m.At(sc, k, 0) * e.steering(th, k)
+			}
+			re, im := real(sum), imag(sum)
+			p += re*re + im*im
+		}
+		totalP += p
+		if p > bestP {
+			bestTheta, bestP = th, p
+		}
+	}
+	if totalP <= 0 {
+		return 0, 0
+	}
+	return bestTheta, bestP / (totalP / float64(points))
+}
+
+// BearingTracker feeds per-second AoA estimates into a windowed sweep
+// detector: a client orbiting the AP shows a consistent bearing drift
+// even though its ToF is flat.
+type BearingTracker struct {
+	est    *Estimator
+	filter stats.MedianFilter
+	window *stats.MovingWindow
+	last   float64
+	start  bool
+	// MinSweepRad is the total bearing change over the window that
+	// declares orbital (tangential) motion, in radians.
+	MinSweepRad float64
+	// Interval is the aggregation period in seconds.
+	Interval float64
+}
+
+// NewBearingTracker returns a tracker over windowSize per-second bearings.
+func NewBearingTracker(antennas, windowSize int) *BearingTracker {
+	return &BearingTracker{
+		est:         NewEstimator(antennas),
+		window:      stats.NewMovingWindow(windowSize),
+		MinSweepRad: 0.12, // ~7 degrees of consistent sweep
+		Interval:    1.0,
+	}
+}
+
+// Observe feeds one CSI snapshot taken at time t.
+func (b *BearingTracker) Observe(t float64, m *csi.Matrix) {
+	theta, _ := b.est.Estimate(m)
+	if !b.start {
+		b.start = true
+		b.last = t
+	}
+	b.filter.Add(theta)
+	if t-b.last >= b.Interval {
+		b.last = t
+		if med, ok := b.filter.Flush(); ok {
+			b.window.Push(med)
+		}
+	}
+}
+
+// Sweeping reports whether the windowed bearings show a consistent
+// monotone sweep larger than MinSweepRad — tangential (orbital) motion.
+func (b *BearingTracker) Sweeping() bool {
+	if !b.window.Full() {
+		return false
+	}
+	vals := b.window.Values()
+	tr := stats.MonotoneTrend(vals, 0.02)
+	if tr == stats.TrendNone {
+		return false
+	}
+	sweep := vals[len(vals)-1] - vals[0]
+	if sweep < 0 {
+		sweep = -sweep
+	}
+	return sweep >= b.MinSweepRad
+}
+
+// Reset clears the tracker.
+func (b *BearingTracker) Reset() {
+	b.filter.Flush()
+	b.window.Reset()
+	b.start = false
+}

@@ -1,0 +1,151 @@
+// Package beamforming implements the paper's §6 protocols: single-user
+// transmit beamforming (MRT) with explicit quantized CSI feedback, a
+// zero-forcing MU-MIMO emulator serving three single-antenna clients from
+// a three-antenna AP, and the mobility-adaptive CSI feedback scheduler
+// that picks the sounding period from the client's mobility state.
+package beamforming
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// CMatrix is a dense complex matrix stored row-major.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix allocates a zero Rows x Cols matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set stores element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	c := NewCMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns m * o.
+func (m *CMatrix) Mul(o *CMatrix) *CMatrix {
+	if m.Cols != o.Rows {
+		panic("beamforming: dimension mismatch in Mul")
+	}
+	out := NewCMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * o.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v for a column vector v.
+func (m *CMatrix) MulVec(v []complex128) []complex128 {
+	if m.Cols != len(v) {
+		panic("beamforming: dimension mismatch in MulVec")
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ErrSingular is returned when a matrix cannot be inverted.
+var ErrSingular = errors.New("beamforming: singular matrix")
+
+// Inverse returns the inverse of a square matrix via Gauss-Jordan
+// elimination with partial pivoting.
+func (m *CMatrix) Inverse() (*CMatrix, error) {
+	if m.Rows != m.Cols {
+		return nil, errors.New("beamforming: inverse of non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := NewCMatrix(n, n)
+	for i := 0; i < n; i++ {
+		inv.Set(i, i, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column.
+		pivot := col
+		best := cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(a.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalize pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *CMatrix, r1, r2 int) {
+	for j := 0; j < m.Cols; j++ {
+		m.Data[r1*m.Cols+j], m.Data[r2*m.Cols+j] = m.Data[r2*m.Cols+j], m.Data[r1*m.Cols+j]
+	}
+}
+
+// vecNorm returns the Euclidean norm of v.
+func vecNorm(v []complex128) float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// dotConj returns sum(a_i * conj(b_i)).
+func dotConj(a, b []complex128) complex128 {
+	var s complex128
+	for i := range a {
+		s += a[i] * cmplx.Conj(b[i])
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+package beamforming
+
+import (
+	"math"
+
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/phy"
+)
+
+// MUUser is one client served by the MU-MIMO group: its channel (NTx x 1 —
+// the paper's emulation uses single-antenna laptop receivers), its
+// feedback scheduler, and its mobility-state source.
+type MUUser struct {
+	Chan    *channel.Model
+	Sched   FeedbackScheduler
+	StateAt func(t float64) core.State
+}
+
+// MUConfig parameterizes the MU-MIMO emulator.
+type MUConfig struct {
+	// FeedbackBits quantizes each fed-back CSI component.
+	FeedbackBits int
+	// Grouping is the subcarrier grouping factor of the feedback report.
+	Grouping int
+	// FrameTime is the spacing of (simultaneous) data frames.
+	FrameTime float64
+	// MPDUBytes sizes the loss model packets.
+	MPDUBytes int
+	// RateMarginDB backs rate selection off the measured SINR.
+	RateMarginDB float64
+}
+
+// DefaultMUConfig returns the paper's §6.2 emulation setup.
+func DefaultMUConfig() MUConfig {
+	return MUConfig{FeedbackBits: 8, Grouping: 4, FrameTime: 2e-3, MPDUBytes: 1500, RateMarginDB: 1}
+}
+
+// MUResult summarizes an emulation run.
+type MUResult struct {
+	// PerUserMbps is the goodput of each client.
+	PerUserMbps []float64
+	// TotalMbps is the sum over clients.
+	TotalMbps float64
+	// FeedbackFraction is the share of airtime spent sounding.
+	FeedbackFraction float64
+}
+
+// ZFWeights computes zero-forcing precoding vectors from the (normalized)
+// estimated per-user channel rows of one subcarrier: one unit-norm
+// NTx-vector per user, or nil if the matrix is singular or non-square
+// (zero-forcing needs as many transmit antennas as users).
+func ZFWeights(rows [][]complex128) [][]complex128 {
+	n := len(rows)
+	if n == 0 || len(rows[0]) != n {
+		// Zero-forcing needs as many transmit antennas as users.
+		return nil
+	}
+	h := NewCMatrix(n, n)
+	for u, row := range rows {
+		for txi, v := range row {
+			h.Set(u, txi, v)
+		}
+	}
+	inv, err := h.Inverse()
+	if err != nil {
+		return nil
+	}
+	// Column u of the inverse is user u's precoding direction.
+	out := make([][]complex128, n)
+	for u := 0; u < n; u++ {
+		w := make([]complex128, n)
+		for txi := 0; txi < n; txi++ {
+			w[txi] = inv.At(txi, u)
+		}
+		if nrm := vecNorm(w); nrm > 0 {
+			for i := range w {
+				w[i] /= complex(nrm, 0)
+			}
+		}
+		out[u] = w
+	}
+	return out
+}
+
+// normalizedRow extracts one subcarrier's user row from a CSI matrix,
+// scaled by a precomputed per-user normalization so each user's average
+// channel power is 1 (per-user SNR is then applied separately).
+func normalizedRow(m *csi.Matrix, sc int, scale float64) []complex128 {
+	row := m.ColumnAt(sc, 0)
+	if scale > 0 {
+		for i := range row {
+			row[i] /= complex(scale, 0)
+		}
+	}
+	return row
+}
+
+// RunMU emulates a 3-antenna AP serving len(users) single-antenna clients
+// simultaneously with zero-forcing MU-MIMO over [0, duration): CSI traces
+// are sampled at each user's feedback period, the precoder is rebuilt from
+// the latest (quantized) estimates, and every user's per-frame SINR —
+// including the inter-user interference leaked by stale precoding —
+// selects its rate. This mirrors the paper's trace-based MU-MIMO emulator
+// (§6.2).
+func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
+	timing := phy.DefaultTiming()
+	ladder := phy.Usable(1)
+	n := len(users)
+	res := MUResult{PerUserMbps: make([]float64, n)}
+	if n == 0 {
+		return res
+	}
+
+	ests := make([]*csi.Matrix, n)
+	lastFB := make([]float64, n)
+	for i := range lastFB {
+		lastFB[i] = -1e9
+	}
+	bits := make([]float64, n)
+	var fbTime float64
+	var weights [][][]complex128 // [subcarrier][user][tx]
+
+	subc := users[0].Chan.Config().Subcarriers
+	t := 0.0
+	for t < duration {
+		// Sounding: each user whose period elapsed feeds back in turn.
+		sounded := false
+		for u, usr := range users {
+			state := core.StateUnknown
+			if usr.StateAt != nil {
+				state = usr.StateAt(t)
+			}
+			if t-lastFB[u] >= usr.Sched.Period(state) {
+				m := usr.Chan.Measure(t)
+				ests[u] = m.CSI.Quantize(cfg.FeedbackBits)
+				fb := phy.FeedbackAirtime(timing, reportBits(ests[u], cfg.FeedbackBits, cfg.Grouping))
+				fbTime += fb
+				t += fb
+				lastFB[u] = t
+				sounded = true
+			}
+		}
+		if sounded || weights == nil {
+			weights = rebuildWeights(ests, subc)
+		}
+		if weights == nil {
+			t += cfg.FrameTime
+			continue
+		}
+
+		// One simultaneous MU frame.
+		for u, usr := range users {
+			truth := usr.Chan.Response(t)
+			scale := math.Sqrt(truth.AvgPower())
+			snrLin := math.Pow(10, usr.Chan.SNRdB(t)/10) / float64(n) // equal power split
+			var capSum float64
+			for sc := 0; sc < subc; sc++ {
+				h := normalizedRow(truth, sc, scale)
+				if weights[sc] == nil {
+					continue
+				}
+				sig := sqAbs(dotConj(h, conjVec(weights[sc][u])))
+				var intf float64
+				for j := 0; j < n; j++ {
+					if j == u {
+						continue
+					}
+					intf += sqAbs(dotConj(h, conjVec(weights[sc][j])))
+				}
+				sinr := snrLin * sig / (snrLin*intf + 1)
+				capSum += math.Log2(1 + sinr)
+			}
+			eff := math.Pow(2, capSum/float64(subc)) - 1
+			sinrDB := 10 * math.Log10(math.Max(eff, 1e-4))
+			best := ladder[0]
+			for _, m := range ladder {
+				if sinrDB-cfg.RateMarginDB >= phy.RequiredSNRdB(m) {
+					best = m
+				}
+			}
+			per := phy.PER(best, sinrDB, cfg.MPDUBytes)
+			bits[u] += best.RateMbps(phy.Width40, true) * 1e6 * cfg.FrameTime * (1 - per)
+		}
+		t += cfg.FrameTime
+	}
+	for u := range users {
+		res.PerUserMbps[u] = bits[u] / t / 1e6
+		res.TotalMbps += res.PerUserMbps[u]
+	}
+	res.FeedbackFraction = fbTime / t
+	return res
+}
+
+// rebuildWeights recomputes per-subcarrier ZF precoders from the current
+// estimates; nil users (never sounded) disable precoding entirely.
+func rebuildWeights(ests []*csi.Matrix, subc int) [][][]complex128 {
+	for _, e := range ests {
+		if e == nil {
+			return nil
+		}
+	}
+	scales := make([]float64, len(ests))
+	for u, e := range ests {
+		scales[u] = math.Sqrt(e.AvgPower())
+	}
+	out := make([][][]complex128, subc)
+	for sc := 0; sc < subc; sc++ {
+		rows := make([][]complex128, len(ests))
+		for u, e := range ests {
+			rows[u] = normalizedRow(e, sc, scales[u])
+		}
+		out[sc] = ZFWeights(rows)
+	}
+	return out
+}
+
+func sqAbs(v complex128) float64 {
+	return real(v)*real(v) + imag(v)*imag(v)
+}
+
+// conjVec returns the element-wise conjugate (the received amplitude of a
+// precoded stream is h^T w; dotConj computes sum(a*conj(b)), so conjugate
+// w first).
+func conjVec(v []complex128) []complex128 {
+	out := make([]complex128, len(v))
+	for i, x := range v {
+		out[i] = complex(real(x), -imag(x))
+	}
+	return out
+}

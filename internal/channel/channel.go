@@ -1,0 +1,355 @@
+// Package channel implements the geometric multipath wireless channel
+// simulator that substitutes for the paper's testbed radio environment.
+//
+// The model is ray-based: the signal between each AP antenna and each
+// client antenna propagates along a line-of-sight path plus one
+// single-bounce path per scatterer. Each path contributes a complex gain
+// with free-space amplitude decay and a phase proportional to its length in
+// carrier wavelengths, evaluated per OFDM subcarrier. This reproduces the
+// mechanisms the paper's classifier depends on:
+//
+//   - When nothing moves, the channel frequency response is constant up to
+//     estimation noise, so consecutive CSI snapshots are nearly identical.
+//   - When a person walks nearby (environmental mobility), only the paths
+//     bounced off that person change, so the CSI profile changes partially.
+//   - When the device itself moves even a few centimeters (one wavelength
+//     at 5.8 GHz is 5.2 cm), every path length changes and the CSI profile
+//     decorrelates completely — regardless of whether the motion is micro
+//     or macro, which is why CSI alone cannot separate those two.
+//
+// RSSI, SNR, distance (for ToF) and position-dependent log-normal
+// shadowing are derived from the same geometry.
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+)
+
+// SpeedOfLight in meters per second.
+const SpeedOfLight = 299792458.0
+
+// Config holds the radio parameters of a link.
+type Config struct {
+	// CarrierHz is the center frequency. The paper tunes to 5.825 GHz.
+	CarrierHz float64
+	// BandwidthHz is the channel width (40 MHz in the paper).
+	BandwidthHz float64
+	// Subcarriers is the number of reported CSI subcarriers (52 on the
+	// AR9390, matching the paper).
+	Subcarriers int
+	// NTx and NRx are the AP and client antenna counts (3x2 in the paper).
+	NTx, NRx int
+	// TxPowerDBm is the transmit power.
+	TxPowerDBm float64
+	// NoiseFloorDBm is the receiver noise floor over the full bandwidth.
+	NoiseFloorDBm float64
+	// CSINoiseSNRdB is the effective SNR of CSI estimation; per-subcarrier
+	// estimation noise is scaled so that a static channel's similarity
+	// saturates just below 1, as observed on real chipsets.
+	CSINoiseSNRdB float64
+	// ShadowSigmaDB is the standard deviation of position-dependent
+	// log-normal shadowing.
+	ShadowSigmaDB float64
+	// ShadowCorrLen is the spatial decorrelation length of shadowing in
+	// meters.
+	ShadowCorrLen float64
+	// RSSIQuantDB quantizes reported RSSI (1 dB on commodity hardware).
+	RSSIQuantDB float64
+	// RSSINoiseDB is the per-report RSSI measurement noise stddev.
+	RSSINoiseDB float64
+	// PathLossExponent is the indoor distance-power law: beyond
+	// PathLossBreakM, path amplitudes decay as d^(-n/2) instead of the
+	// free-space d^(-1) (walls, furniture, people absorb energy).
+	PathLossExponent float64
+	// PathLossBreakM is the breakpoint distance in meters.
+	PathLossBreakM float64
+	// LoSGain scales the line-of-sight path amplitude: 1 is a clear
+	// line of sight; lower values model clutter/blockage (cubicle walls,
+	// people) that makes the channel multipath-dominated — Rician with a
+	// small K factor. 0 removes the LoS entirely (pure NLOS).
+	LoSGain float64
+}
+
+// DefaultConfig mirrors the paper's testbed: HP MSM 460 (3 antennas,
+// AR9390) at 5.825 GHz / 40 MHz talking to a 2-antenna Galaxy S5.
+func DefaultConfig() Config {
+	return Config{
+		CarrierHz:     5.825e9,
+		BandwidthHz:   40e6,
+		Subcarriers:   52,
+		NTx:           3,
+		NRx:           2,
+		TxPowerDBm:    18,
+		NoiseFloorDBm: -92, // kTB + NF over 40 MHz
+		CSINoiseSNRdB: 31,
+		ShadowSigmaDB: 3,
+		ShadowCorrLen: 8,
+		RSSIQuantDB:   1,
+		RSSINoiseDB:   0.7,
+
+		PathLossExponent: 3.5,
+		PathLossBreakM:   5,
+		LoSGain:          1,
+	}
+}
+
+// Wavelength returns the carrier wavelength in meters.
+func (c Config) Wavelength() float64 { return SpeedOfLight / c.CarrierHz }
+
+// Sample is one PHY-layer observation of the link, as an AP would collect
+// from a client transmission (data or ACK).
+type Sample struct {
+	// Time is the observation time in seconds.
+	Time float64
+	// CSI is the noisy channel estimate.
+	CSI *csi.Matrix
+	// RSSIdBm is the reported received signal strength.
+	RSSIdBm float64
+	// SNRdB is the wideband signal-to-noise ratio implied by the RSSI.
+	SNRdB float64
+	// Distance is the true AP-client distance in meters (consumed by the
+	// ToF model, never exposed to protocols directly).
+	Distance float64
+}
+
+// Model is the channel between one AP and one client for a given scenario.
+// It is deterministic: the same scenario, config and seed produce the same
+// sample stream.
+type Model struct {
+	cfg    Config
+	ap     geom.Point
+	scen   *mobility.Scenario
+	noise  *stats.RNG
+	shadow *shadowField
+
+	apAnts     []geom.Vector // antenna offsets from the AP position
+	clientAnts []geom.Vector // antenna offsets from the client position
+	subFreqs   []float64     // absolute subcarrier frequencies
+}
+
+// New builds a channel model between the scenario's AP and client.
+func New(cfg Config, scen *mobility.Scenario, rng *stats.RNG) *Model {
+	return NewAt(cfg, scen.AP, scen, rng)
+}
+
+// NewAt builds a channel model between an arbitrary AP position and the
+// scenario's client — used by the roaming simulator, where several APs
+// observe the same walking client.
+func NewAt(cfg Config, ap geom.Point, scen *mobility.Scenario, rng *stats.RNG) *Model {
+	m := &Model{
+		cfg:    cfg,
+		ap:     ap,
+		scen:   scen,
+		noise:  rng.Split(0x6e6f6973), // "nois"
+		shadow: newShadowField(cfg.ShadowSigmaDB, cfg.ShadowCorrLen, rng.Split(0x73686164)),
+	}
+	lambda := cfg.Wavelength()
+	// Uniform linear arrays spaced half a wavelength along x (AP) and y
+	// (client) so antenna pairs see distinct geometry.
+	for i := 0; i < cfg.NTx; i++ {
+		m.apAnts = append(m.apAnts, geom.Vec(float64(i)*lambda/2, 0))
+	}
+	for i := 0; i < cfg.NRx; i++ {
+		m.clientAnts = append(m.clientAnts, geom.Vec(0, float64(i)*lambda/2))
+	}
+	m.subFreqs = make([]float64, cfg.Subcarriers)
+	for i := range m.subFreqs {
+		frac := (float64(i) - float64(cfg.Subcarriers-1)/2) / float64(cfg.Subcarriers)
+		m.subFreqs[i] = cfg.CarrierHz + frac*cfg.BandwidthHz
+	}
+	return m
+}
+
+// Config returns the model's radio configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// AP returns the AP position this model observes from.
+func (m *Model) AP() geom.Point { return m.ap }
+
+// Distance returns the true AP-client distance at time t.
+func (m *Model) Distance(t float64) float64 {
+	return m.scen.Client.At(t).Dist(m.ap)
+}
+
+// Response computes the true (noise-free) CSI matrix at time t.
+func (m *Model) Response(t float64) *csi.Matrix {
+	client := m.scen.Client.At(t)
+	h := csi.NewMatrix(m.cfg.Subcarriers, m.cfg.NTx, m.cfg.NRx)
+	lambdaScale := m.cfg.Wavelength() / (4 * math.Pi)
+
+	// Gather path endpoints once: LoS plus one bounce per scatterer.
+	type path struct {
+		gain   float64 // amplitude
+		via    geom.Point
+		bounce bool
+	}
+	losGain := m.cfg.LoSGain
+	if losGain == 0 && m.cfg.PathLossExponent == 0 {
+		// Zero-value Config: keep the zero-config behaviour sane.
+		losGain = 1
+	}
+	paths := make([]path, 0, 1+len(m.scen.Scatterers))
+	paths = append(paths, path{gain: losGain})
+	scatterPos := make([]geom.Point, len(m.scen.Scatterers))
+	for i, sc := range m.scen.Scatterers {
+		scatterPos[i] = sc.Traj.At(t)
+		paths = append(paths, path{gain: sc.Reflectivity, via: scatterPos[i], bounce: true})
+	}
+
+	f0 := m.subFreqs[0]
+	df := 0.0
+	if len(m.subFreqs) > 1 {
+		df = m.subFreqs[1] - m.subFreqs[0]
+	}
+
+	for txi, txOff := range m.apAnts {
+		txPos := m.ap.Add(txOff)
+		for rxi, rxOff := range m.clientAnts {
+			rxPos := client.Add(rxOff)
+			for _, p := range paths {
+				var length float64
+				if p.bounce {
+					length = txPos.Dist(p.via) + p.via.Dist(rxPos)
+				} else {
+					length = txPos.Dist(rxPos)
+				}
+				if length < 0.1 {
+					length = 0.1
+				}
+				amp := p.gain * lambdaScale / length
+				// Indoor excess path loss beyond the breakpoint.
+				if bp := m.cfg.PathLossBreakM; bp > 0 && length > bp && m.cfg.PathLossExponent > 2 {
+					amp *= math.Pow(bp/length, (m.cfg.PathLossExponent-2)/2)
+				}
+				// Phase at the first subcarrier, then rotate by a constant
+				// per-subcarrier increment (avoids a sincos per subcarrier).
+				base := cmplx.Rect(amp, -2*math.Pi*f0*length/SpeedOfLight)
+				rot := cmplx.Rect(1, -2*math.Pi*df*length/SpeedOfLight)
+				contrib := base
+				for sc := 0; sc < m.cfg.Subcarriers; sc++ {
+					h.Set(sc, txi, rxi, h.At(sc, txi, rxi)+contrib)
+					contrib *= rot
+				}
+			}
+		}
+	}
+
+	// Apply position-dependent shadowing as a real wideband gain factor.
+	shadowDB := m.shadow.at(client)
+	h.Scale(math.Pow(10, shadowDB/20))
+	return h
+}
+
+// Measure returns a noisy PHY observation at time t: the CSI estimate with
+// per-subcarrier complex estimation noise, plus quantized noisy RSSI.
+func (m *Model) Measure(t float64) Sample {
+	h := m.Response(t)
+	// Estimation noise relative to the channel's RMS amplitude.
+	rms := math.Sqrt(h.AvgPower())
+	sigma := rms * math.Pow(10, -m.cfg.CSINoiseSNRdB/20) / math.Sqrt2
+	for sc := 0; sc < h.Subcarriers; sc++ {
+		for tx := 0; tx < h.NTx; tx++ {
+			for rx := 0; rx < h.NRx; rx++ {
+				n := complex(m.noise.Gaussian(0, sigma), m.noise.Gaussian(0, sigma))
+				h.Set(sc, tx, rx, h.At(sc, tx, rx)+n)
+			}
+		}
+	}
+	rssi := m.rssiFrom(h)
+	return Sample{
+		Time:     t,
+		CSI:      h,
+		RSSIdBm:  rssi,
+		SNRdB:    rssi - m.cfg.NoiseFloorDBm,
+		Distance: m.Distance(t),
+	}
+}
+
+// rssiFrom converts a channel estimate to a reported RSSI value, with
+// measurement noise and hardware quantization.
+func (m *Model) rssiFrom(h *csi.Matrix) float64 {
+	p := h.AvgPower()
+	if p <= 0 {
+		return -120
+	}
+	rssi := m.cfg.TxPowerDBm + 10*math.Log10(p) + m.noise.Gaussian(0, m.cfg.RSSINoiseDB)
+	if q := m.cfg.RSSIQuantDB; q > 0 {
+		rssi = math.Round(rssi/q) * q
+	}
+	return rssi
+}
+
+// MeanRSSI returns the expected (noise-free, unquantized) RSSI at time t —
+// the quantity roaming policies estimate by averaging reports.
+func (m *Model) MeanRSSI(t float64) float64 {
+	h := m.Response(t)
+	p := h.AvgPower()
+	if p <= 0 {
+		return -120
+	}
+	return m.cfg.TxPowerDBm + 10*math.Log10(p)
+}
+
+// SNRdB returns the expected wideband SNR at time t.
+func (m *Model) SNRdB(t float64) float64 {
+	return m.MeanRSSI(t) - m.cfg.NoiseFloorDBm
+}
+
+// shadowField is a smooth pseudo-random spatial field used for log-normal
+// shadowing: a sum of planar sinusoids with random orientations and a
+// spatial period near the decorrelation length. Being a deterministic
+// function of position, a static client sees constant shadowing while a
+// walking client sees it vary — as in real buildings.
+type shadowField struct {
+	sigma float64
+	comps []shadowComponent
+}
+
+type shadowComponent struct {
+	kx, ky, phase, weight float64
+}
+
+func newShadowField(sigmaDB, corrLen float64, rng *stats.RNG) *shadowField {
+	f := &shadowField{sigma: sigmaDB}
+	if sigmaDB <= 0 {
+		return f
+	}
+	const n = 6
+	var sumW2 float64
+	for i := 0; i < n; i++ {
+		ang := rng.Range(0, 2*math.Pi)
+		wavelen := corrLen * rng.Range(0.7, 1.8)
+		k := 2 * math.Pi / wavelen
+		c := shadowComponent{
+			kx:     k * math.Cos(ang),
+			ky:     k * math.Sin(ang),
+			phase:  rng.Range(0, 2*math.Pi),
+			weight: rng.Range(0.5, 1),
+		}
+		sumW2 += c.weight * c.weight / 2 // sine variance = w^2/2
+		f.comps = append(f.comps, c)
+	}
+	norm := sigmaDB / math.Sqrt(sumW2)
+	for i := range f.comps {
+		f.comps[i].weight *= norm
+	}
+	return f
+}
+
+// at returns the shadowing value in dB at position p.
+func (f *shadowField) at(p geom.Point) float64 {
+	if f.sigma <= 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range f.comps {
+		s += c.weight * math.Sin(c.kx*p.X+c.ky*p.Y+c.phase)
+	}
+	return s
+}

@@ -1,0 +1,347 @@
+// Package core implements the paper's primary contribution: AP-side
+// client-mobility classification from PHY-layer information only.
+//
+// The classifier (paper Fig. 5) consumes two measurement streams the AP
+// already has for free:
+//
+//   - CSI snapshots from the client's transmissions, sampled periodically.
+//     The moving average of the similarity of consecutive snapshots
+//     (csi.Similarity, paper Eq. 1) separates static (> ThrSta),
+//     environmental (ThrEnv..ThrSta], and device mobility (<= ThrEnv).
+//   - ToF readings from the data->ACK exchange, collected only while the
+//     client is under device mobility. Per-second medians feed a windowed
+//     monotone-trend test: an increasing trend means macro-mobility moving
+//     away from the AP, decreasing means moving towards, no trend means
+//     micro-mobility.
+//
+// The output is one of five states: static, environmental, micro, macro
+// moving-away, macro moving-towards — consumed by the roaming, rate
+// control, aggregation, and beamforming protocols in their respective
+// packages.
+package core
+
+import (
+	"fmt"
+
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+)
+
+// Config holds the classifier's tuning parameters. The defaults are the
+// paper's published values.
+type Config struct {
+	// ThrSta is the similarity threshold above which the client is
+	// declared stationary with no environmental changes (paper: 0.98).
+	ThrSta float64
+	// ThrEnv is the similarity threshold below which the client is
+	// declared under device mobility (paper: 0.7).
+	ThrEnv float64
+	// CSISamplePeriod is the interval between CSI snapshots, in seconds
+	// (paper: 50 ms).
+	CSISamplePeriod float64
+	// SimWindow is the number of consecutive similarity values averaged
+	// before thresholding.
+	SimWindow int
+	// MedianInterval is the ToF median aggregation period in seconds
+	// (paper: 1 s).
+	MedianInterval float64
+	// ToFWindow is the number of per-second ToF medians in the trend
+	// detection window (paper: 4, i.e. a 4 s window).
+	ToFWindow int
+	// ToFTolerance allows per-step reversals of that many clock cycles in
+	// the trend test. The paper's rule is strict monotonicity; one cycle
+	// of tolerance absorbs the integer quantization of per-second medians
+	// without admitting real direction changes (ToFMinTravel still gates
+	// the total travel).
+	ToFTolerance float64
+	// ToFMinTravel is the minimum first-to-last ToF change, in clock
+	// cycles, for a macro trend (guards against quantization plateaus).
+	ToFMinTravel float64
+	// ToFStopHysteresis is how many consecutive stationary CSI decisions
+	// are required before ToF collection stops. A walking client's CSI
+	// similarity occasionally spikes for a few samples; tearing the ToF
+	// window down on every spike would cost seconds of re-detection.
+	ToFStopHysteresis int
+}
+
+// DefaultConfig returns the paper's parameter set.
+func DefaultConfig() Config {
+	return Config{
+		ThrSta:            0.98,
+		ThrEnv:            0.70,
+		CSISamplePeriod:   0.050,
+		SimWindow:         8,
+		MedianInterval:    1.0,
+		ToFWindow:         4,
+		ToFTolerance:      1.0,
+		ToFMinTravel:      1.5,
+		ToFStopHysteresis: 10,
+	}
+}
+
+// State is the classifier's five-way output.
+type State int
+
+const (
+	// StateUnknown is reported before enough CSI has been observed.
+	StateUnknown State = iota
+	// StateStatic: stationary client, quiet environment.
+	StateStatic
+	// StateEnvironmental: stationary client, moving environment.
+	StateEnvironmental
+	// StateMicro: device mobility confined to a small area.
+	StateMicro
+	// StateMacroAway: device mobility with increasing AP distance.
+	StateMacroAway
+	// StateMacroToward: device mobility with decreasing AP distance.
+	StateMacroToward
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateStatic:
+		return "static"
+	case StateEnvironmental:
+		return "environmental"
+	case StateMicro:
+		return "micro"
+	case StateMacroAway:
+		return "macro-away"
+	case StateMacroToward:
+		return "macro-toward"
+	case StateMacroToward + 1: // StateMacroOrbit (see extended.go)
+		return "macro-orbit"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(s))
+	}
+}
+
+// Mode maps the state to the coarse four-way ground-truth vocabulary.
+func (s State) Mode() mobility.Mode {
+	switch s {
+	case StateStatic:
+		return mobility.Static
+	case StateEnvironmental:
+		return mobility.Environmental
+	case StateMicro:
+		return mobility.Micro
+	case StateMacroAway, StateMacroToward, StateMacroToward + 1:
+		return mobility.Macro
+	default:
+		return mobility.Static
+	}
+}
+
+// Heading maps the state to the relative-heading vocabulary.
+func (s State) Heading() mobility.Heading {
+	switch s {
+	case StateMacroAway:
+		return mobility.HeadingAway
+	case StateMacroToward:
+		return mobility.HeadingToward
+	default:
+		return mobility.HeadingNone
+	}
+}
+
+// StateFor converts a ground-truth (mode, heading) pair to the state the
+// classifier should report for it.
+func StateFor(m mobility.Mode, h mobility.Heading) State {
+	switch m {
+	case mobility.Static:
+		return StateStatic
+	case mobility.Environmental:
+		return StateEnvironmental
+	case mobility.Micro:
+		return StateMicro
+	case mobility.Macro:
+		switch h {
+		case mobility.HeadingAway:
+			return StateMacroAway
+		case mobility.HeadingToward:
+			return StateMacroToward
+		default:
+			return StateMicro // circling: indistinguishable from micro
+		}
+	}
+	return StateUnknown
+}
+
+// Classifier is the streaming mobility classifier. Feed it CSI snapshots
+// with ObserveCSI and (whenever ToFActive reports true) raw ToF readings
+// with ObserveToF, then read State.
+type Classifier struct {
+	cfg Config
+
+	prevCSI *csi.Matrix
+	simWin  *stats.MovingWindow
+	coarse  State // StateStatic / StateEnvironmental / StateMicro placeholder for device mobility
+	hasCSI  bool
+
+	tofActive        bool
+	tofFilter        stats.MedianFilter
+	tofLast          float64
+	tofStarted       bool
+	stationaryStreak int
+	trend            *trendDetectorShim
+
+	state State
+}
+
+// trendDetectorShim embeds the windowed monotone-trend test. It mirrors
+// tof.TrendDetector but lives here so the classifier depends only on the
+// measurement values, not on the measurement hardware model.
+type trendDetectorShim struct {
+	window    *stats.MovingWindow
+	tolerance float64
+	minTravel float64
+}
+
+func (d *trendDetectorShim) trend() stats.Trend {
+	if !d.window.Full() {
+		return stats.TrendNone
+	}
+	vals := d.window.Values()
+	tr := stats.MonotoneTrend(vals, d.tolerance)
+	if tr == stats.TrendNone {
+		return tr
+	}
+	travel := vals[len(vals)-1] - vals[0]
+	if travel < 0 {
+		travel = -travel
+	}
+	if travel < d.minTravel {
+		return stats.TrendNone
+	}
+	return tr
+}
+
+// New returns a classifier with the given configuration.
+func New(cfg Config) *Classifier {
+	if cfg.SimWindow < 1 {
+		cfg.SimWindow = 1
+	}
+	if cfg.ToFWindow < 2 {
+		cfg.ToFWindow = 2
+	}
+	return &Classifier{
+		cfg:    cfg,
+		simWin: stats.NewMovingWindow(cfg.SimWindow),
+		state:  StateUnknown,
+		coarse: StateUnknown,
+		trend: &trendDetectorShim{
+			window:    stats.NewMovingWindow(cfg.ToFWindow),
+			tolerance: cfg.ToFTolerance,
+			minTravel: cfg.ToFMinTravel,
+		},
+	}
+}
+
+// Config returns the classifier's configuration.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// ObserveCSI feeds one CSI snapshot taken at time t. Snapshots should
+// arrive roughly every Config.CSISamplePeriod; the classifier itself is
+// agnostic to the exact spacing.
+func (c *Classifier) ObserveCSI(t float64, m *csi.Matrix) {
+	if c.prevCSI != nil {
+		c.simWin.Push(csi.Similarity(c.prevCSI, m))
+		c.hasCSI = true
+	}
+	c.prevCSI = m.Clone()
+	if !c.hasCSI {
+		return
+	}
+	s := c.simWin.Mean()
+	switch {
+	case s > c.cfg.ThrSta:
+		c.coarse = StateStatic
+	case s > c.cfg.ThrEnv:
+		c.coarse = StateEnvironmental
+	default:
+		c.coarse = StateMicro // device mobility; refined by ToF
+	}
+	c.refreshState(t)
+}
+
+// refreshState recomputes the published state and manages the ToF
+// measurement lifecycle (paper Fig. 5).
+func (c *Classifier) refreshState(t float64) {
+	switch c.coarse {
+	case StateStatic, StateEnvironmental:
+		c.stationaryStreak++
+		if c.tofActive && c.stationaryStreak >= c.cfg.ToFStopHysteresis {
+			c.stopToF()
+		}
+		c.state = c.coarse
+	case StateMicro:
+		c.stationaryStreak = 0
+		if !c.tofActive {
+			c.startToF(t)
+		}
+		switch c.trend.trend() {
+		case stats.TrendIncreasing:
+			c.state = StateMacroAway
+		case stats.TrendDecreasing:
+			c.state = StateMacroToward
+		default:
+			c.state = StateMicro
+		}
+	default:
+		c.state = StateUnknown
+	}
+}
+
+func (c *Classifier) startToF(t float64) {
+	c.tofActive = true
+	c.tofStarted = false
+	c.tofLast = t
+	c.tofFilter.Flush()
+	c.trend.window.Reset()
+}
+
+func (c *Classifier) stopToF() {
+	c.tofActive = false
+	c.tofFilter.Flush()
+	c.trend.window.Reset()
+}
+
+// ToFActive reports whether the AP should currently be collecting ToF
+// readings for this client. CSI alone settles static and environmental
+// states; ToF is only needed to refine device mobility, which is what makes
+// the scheme cheap.
+func (c *Classifier) ToFActive() bool { return c.tofActive }
+
+// ObserveToF feeds one raw ToF reading (in clock cycles) taken at time t.
+// Readings observed while ToF collection is inactive are ignored.
+func (c *Classifier) ObserveToF(t float64, rawCycles float64) {
+	if !c.tofActive {
+		return
+	}
+	if !c.tofStarted {
+		c.tofStarted = true
+		c.tofLast = t
+	}
+	c.tofFilter.Add(rawCycles)
+	if t-c.tofLast >= c.cfg.MedianInterval {
+		c.tofLast = t
+		if med, ok := c.tofFilter.Flush(); ok {
+			c.trend.window.Push(med)
+			c.refreshState(t)
+		}
+	}
+}
+
+// State returns the current classification.
+func (c *Classifier) State() State { return c.state }
+
+// Similarity returns the current moving-average CSI similarity, or 0
+// before any CSI pair has been observed.
+func (c *Classifier) Similarity() float64 {
+	if !c.hasCSI {
+		return 0
+	}
+	return c.simWin.Mean()
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+	"mobiwlan/internal/tof"
+)
+
+// runExtended drives the extended classifier over a scenario and returns
+// the fraction of post-warmup decisions in each state.
+func runExtended(t *testing.T, scen *mobility.Scenario, seed uint64, warmup float64) map[State]float64 {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	ch := channel.New(channel.DefaultConfig(), scen, rng.Split(1))
+	meter := tof.NewMeter(tof.DefaultConfig(), rng.Split(2))
+	cls := NewExtended(DefaultConfig(), channel.DefaultConfig().NTx)
+
+	counts := map[State]int{}
+	total := 0
+	nextCSI, nextToF := 0.0, 0.0
+	for tt := 0.0; tt < scen.Duration; tt += 0.01 {
+		if tt >= nextCSI {
+			cls.ObserveCSI(tt, ch.Measure(tt).CSI)
+			nextCSI += cls.Config().CSISamplePeriod
+			if tt >= warmup {
+				counts[cls.State()]++
+				total++
+			}
+		}
+		if tt >= nextToF {
+			if cls.ToFActive() {
+				cls.ObserveToF(tt, meter.Raw(ch.Distance(tt)))
+			}
+			nextToF += 0.02
+		}
+	}
+	out := map[State]float64{}
+	for s, c := range counts {
+		out[s] = float64(c) / float64(max(total, 1))
+	}
+	return out
+}
+
+func TestMacroOrbitStateBasics(t *testing.T) {
+	if StateMacroOrbit.String() != "macro-orbit" {
+		t.Fatalf("String = %q", StateMacroOrbit.String())
+	}
+	if StateMacroOrbit.Mode() != mobility.Macro {
+		t.Fatal("orbit should map to macro mode")
+	}
+	if StateMacroOrbit.Heading() != mobility.HeadingNone {
+		t.Fatal("orbit has no radial heading")
+	}
+}
+
+func TestExtendedDetectsOrbit(t *testing.T) {
+	// The base classifier labels a circling client micro (§9 limitation);
+	// the AoA extension should recover macro-orbit most of the time.
+	detected := 0
+	for seed := uint64(0); seed < 4; seed++ {
+		cfg := mobility.DefaultSceneConfig()
+		cfg.Duration = 25
+		scen := mobility.NewCircleScenario(cfg, stats.NewRNG(seed*17+3))
+		frac := runExtended(t, scen, seed+50, 8)
+		if frac[StateMacroOrbit] > 0.5 {
+			detected++
+		}
+	}
+	if detected < 3 {
+		t.Fatalf("orbit recovered in only %d/4 runs", detected)
+	}
+}
+
+func TestExtendedKeepsMicroAsMicro(t *testing.T) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 25
+	var microFracs []float64
+	for seed := uint64(0); seed < 4; seed++ {
+		scen := mobility.NewScenario(mobility.Micro, cfg, stats.NewRNG(seed*19+5))
+		frac := runExtended(t, scen, seed+80, 8)
+		microFracs = append(microFracs, frac[StateMicro])
+	}
+	if m := stats.Mean(microFracs); m < 0.6 {
+		t.Fatalf("micro kept as micro only %.0f%% of the time", m*100)
+	}
+}
+
+func TestExtendedPreservesRadialMacro(t *testing.T) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 16
+	scen := mobility.NewMacroScenario(mobility.HeadingAway, cfg, stats.NewRNG(7))
+	frac := runExtended(t, scen, 99, 7)
+	if frac[StateMacroAway] < 0.6 {
+		t.Fatalf("radial away-walk detected only %.0f%% of the time", frac[StateMacroAway]*100)
+	}
+}
+
+func TestExtendedStaticUnaffected(t *testing.T) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 12
+	scen := mobility.NewScenario(mobility.Static, cfg, stats.NewRNG(9))
+	frac := runExtended(t, scen, 123, 2)
+	if frac[StateStatic] < 0.9 {
+		t.Fatalf("static fraction = %.2f", frac[StateStatic])
+	}
+}

@@ -1,0 +1,226 @@
+// Package csi models Channel State Information as exported by commodity
+// Atheros-class chipsets: a complex channel gain per OFDM subcarrier per
+// transmit/receive antenna pair, together with the similarity metric
+// (paper Eq. 1) the mobility classifier is built on, temporal correlation
+// for staleness modeling, and the quantized feedback representation used
+// by explicit beamforming.
+package csi
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a CSI snapshot: channel gains for Subcarriers x NTx x NRx.
+// Values are stored in subcarrier-major order: index = (sc*NTx + tx)*NRx + rx.
+type Matrix struct {
+	Subcarriers int
+	NTx, NRx    int
+	data        []complex128
+}
+
+// NewMatrix allocates a zero CSI matrix with the given dimensions.
+// It panics if any dimension is non-positive.
+func NewMatrix(subcarriers, nTx, nRx int) *Matrix {
+	if subcarriers <= 0 || nTx <= 0 || nRx <= 0 {
+		panic(fmt.Sprintf("csi: invalid dimensions %dx%dx%d", subcarriers, nTx, nRx))
+	}
+	return &Matrix{
+		Subcarriers: subcarriers,
+		NTx:         nTx,
+		NRx:         nRx,
+		data:        make([]complex128, subcarriers*nTx*nRx),
+	}
+}
+
+func (m *Matrix) idx(sc, tx, rx int) int { return (sc*m.NTx+tx)*m.NRx + rx }
+
+// At returns the channel gain for subcarrier sc from transmit antenna tx to
+// receive antenna rx.
+func (m *Matrix) At(sc, tx, rx int) complex128 { return m.data[m.idx(sc, tx, rx)] }
+
+// Set stores the channel gain for (sc, tx, rx).
+func (m *Matrix) Set(sc, tx, rx int, v complex128) { m.data[m.idx(sc, tx, rx)] = v }
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool {
+	return o != nil && m.Subcarriers == o.Subcarriers && m.NTx == o.NTx && m.NRx == o.NRx
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Subcarriers, m.NTx, m.NRx)
+	copy(c.data, m.data)
+	return c
+}
+
+// Amplitudes returns |H| for every entry, flattened in storage order. The
+// classifier's similarity metric operates on this amplitude profile, since
+// raw CSI phase is corrupted by carrier/timing offsets on real hardware.
+func (m *Matrix) Amplitudes() []float64 {
+	out := make([]float64, len(m.data))
+	for i, v := range m.data {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// AvgPower returns the mean of |H|^2 across all entries — the wideband
+// channel power gain used for RSSI.
+func (m *Matrix) AvgPower() float64 {
+	if len(m.data) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range m.data {
+		re, im := real(v), imag(v)
+		s += re*re + im*im
+	}
+	return s / float64(len(m.data))
+}
+
+// SubcarrierPower returns the mean |H|^2 over antenna pairs for subcarrier
+// sc — the per-subcarrier gain used by effective-SNR computations.
+func (m *Matrix) SubcarrierPower(sc int) float64 {
+	var s float64
+	n := m.NTx * m.NRx
+	base := sc * n
+	for i := 0; i < n; i++ {
+		v := m.data[base+i]
+		re, im := real(v), imag(v)
+		s += re*re + im*im
+	}
+	return s / float64(n)
+}
+
+// Similarity implements the paper's Eq. (1): the sample correlation of the
+// two snapshots' CSI amplitude profiles, taken over all subcarriers and
+// antenna pairs. It is 1 for identical channels, near 1 for a stable
+// channel observed through noise, and near 0 for decorrelated channels.
+// Mismatched shapes or degenerate (zero-variance) profiles return 0.
+func Similarity(a, b *Matrix) float64 {
+	if a == nil || b == nil || !a.SameShape(b) {
+		return 0
+	}
+	n := len(a.data)
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += cmplx.Abs(a.data[i])
+		mb += cmplx.Abs(b.data[i])
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var sab, saa, sbb float64
+	for i := 0; i < n; i++ {
+		da := cmplx.Abs(a.data[i]) - ma
+		db := cmplx.Abs(b.data[i]) - mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// TemporalCorrelation returns the magnitude of the normalized complex inner
+// product of the two snapshots, rho = |<a, b>| / (||a|| ||b||), in [0, 1].
+// This is the correlation that governs equalization/precoding with a stale
+// channel estimate: the post-equalization SINR with estimate b of true
+// channel a degrades as rho drops (see phy.StaleSINR).
+func TemporalCorrelation(a, b *Matrix) float64 {
+	if a == nil || b == nil || !a.SameShape(b) {
+		return 0
+	}
+	var dot complex128
+	var na, nb float64
+	for i := range a.data {
+		dot += a.data[i] * cmplx.Conj(b.data[i])
+		re, im := real(a.data[i]), imag(a.data[i])
+		na += re*re + im*im
+		re, im = real(b.data[i]), imag(b.data[i])
+		nb += re*re + im*im
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	rho := cmplx.Abs(dot) / math.Sqrt(na*nb)
+	if rho > 1 {
+		rho = 1 // numerical guard
+	}
+	return rho
+}
+
+// Quantize returns a copy of m with each real and imaginary part quantized
+// to the given number of bits (1..16) relative to the matrix's maximum
+// component magnitude — the representation carried by an 802.11 compressed
+// CSI feedback frame (the standard allows up to 8 bits per component).
+func (m *Matrix) Quantize(bits int) *Matrix {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 16 {
+		bits = 16
+	}
+	var maxAbs float64
+	for _, v := range m.data {
+		if a := math.Abs(real(v)); a > maxAbs {
+			maxAbs = a
+		}
+		if a := math.Abs(imag(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := NewMatrix(m.Subcarriers, m.NTx, m.NRx)
+	if maxAbs == 0 {
+		return q
+	}
+	levels := float64(int(1) << (bits - 1)) // signed range
+	step := maxAbs / levels
+	quant := func(x float64) float64 {
+		return math.Round(x/step) * step
+	}
+	for i, v := range m.data {
+		q.data[i] = complex(quant(real(v)), quant(imag(v)))
+	}
+	return q
+}
+
+// FeedbackBits returns the size in bits of an explicit CSI feedback report
+// for this matrix at the given component resolution: 2 components per entry
+// plus a 3-byte SNR/stream header per receive chain.
+func (m *Matrix) FeedbackBits(bitsPerComponent int) int {
+	return m.Subcarriers*m.NTx*m.NRx*2*bitsPerComponent + m.NRx*24
+}
+
+// ColumnAt returns the NTx-element channel vector from all transmit
+// antennas to receive antenna rx on subcarrier sc — the per-user channel
+// row used by MU-MIMO precoding.
+func (m *Matrix) ColumnAt(sc, rx int) []complex128 {
+	out := make([]complex128, m.NTx)
+	for tx := 0; tx < m.NTx; tx++ {
+		out[tx] = m.At(sc, tx, rx)
+	}
+	return out
+}
+
+// Scale multiplies every entry by the real factor s, in place, and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.data {
+		m.data[i] *= complex(s, 0)
+	}
+	return m
+}
+
+// MaxAbs returns the maximum component magnitude across all entries.
+func (m *Matrix) MaxAbs() float64 {
+	var maxAbs float64
+	for _, v := range m.data {
+		if a := cmplx.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs
+}

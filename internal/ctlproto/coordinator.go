@@ -1,0 +1,131 @@
+package ctlproto
+
+import (
+	"sort"
+	"sync"
+
+	"mobiwlan/internal/core"
+)
+
+// Coordinator is the controller's decision logic (paper §3.1), independent
+// of the transport: feed it mobility and measurement reports, and it emits
+// measurement requests and roam directives. Safe for concurrent use.
+type Coordinator struct {
+	// SimilarDB admits candidates within this much of the serving AP's
+	// RSSI.
+	SimilarDB float64
+	// MinInterval throttles consecutive roams of the same client, in
+	// report-time seconds.
+	MinInterval float64
+
+	mu      sync.Mutex
+	clients map[string]*clientState
+}
+
+type clientState struct {
+	servingAP   string
+	servingRSSI float64
+	state       core.State
+	lastRoam    float64
+	measuring   bool
+	reports     map[string]MeasureReport
+}
+
+// NewCoordinator returns a coordinator with the paper's thresholds.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{
+		SimilarDB:   3,
+		MinInterval: 3,
+		clients:     map[string]*clientState{},
+	}
+}
+
+// OnMobilityReport ingests a serving AP's classifier output. When the
+// client is macro-away (and not throttled), it returns the list of AP IDs
+// the controller should send MeasureRequests to (everyone but the serving
+// AP); otherwise it returns nil.
+func (c *Coordinator) OnMobilityReport(rep MobilityReport, allAPs []string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.clients[rep.Client]
+	if st == nil {
+		st = &clientState{lastRoam: -1e18, reports: map[string]MeasureReport{}}
+		c.clients[rep.Client] = st
+	}
+	st.servingAP = rep.APID
+	st.servingRSSI = rep.RSSIdBm
+	st.state = rep.State
+	if rep.State != core.StateMacroAway || rep.Time-st.lastRoam < c.MinInterval || st.measuring {
+		return nil
+	}
+	st.measuring = true
+	st.reports = map[string]MeasureReport{}
+	var targets []string
+	for _, ap := range allAPs {
+		if ap != rep.APID {
+			targets = append(targets, ap)
+		}
+	}
+	return targets
+}
+
+// OnMeasureReport ingests a neighbor AP's measurement. Once reports from
+// `expected` APs have arrived it decides: if a candidate with
+// similar-or-better RSSI that the client is approaching exists, it returns
+// a RoamDirective (and true); otherwise (nil, false) once measurement
+// completes, or (nil, false) while reports are still pending.
+func (c *Coordinator) OnMeasureReport(rep MeasureReport, expected int) (*RoamDirective, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.clients[rep.Client]
+	if st == nil || !st.measuring {
+		return nil, false
+	}
+	st.reports[rep.APID] = rep
+	if len(st.reports) < expected {
+		return nil, false
+	}
+	st.measuring = false
+	// Decision: strongest approaching candidate within SimilarDB.
+	type cand struct {
+		ap   string
+		rssi float64
+	}
+	var cands []cand
+	for ap, r := range st.reports {
+		if r.Approaching && r.RSSIdBm >= st.servingRSSI-c.SimilarDB {
+			cands = append(cands, cand{ap, r.RSSIdBm})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rssi != cands[j].rssi {
+			return cands[i].rssi > cands[j].rssi
+		}
+		return cands[i].ap < cands[j].ap
+	})
+	st.lastRoam = rep.Time
+	names := make([]string, len(cands))
+	for i, cd := range cands {
+		names[i] = cd.ap
+	}
+	return &RoamDirective{
+		Client:     rep.Client,
+		ServingAP:  st.servingAP,
+		Candidates: names,
+	}, true
+}
+
+// ClientState reports the coordinator's view of a client (for tests and
+// monitoring).
+func (c *Coordinator) ClientState(client string) (servingAP string, state core.State, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.clients[client]
+	if st == nil {
+		return "", core.StateUnknown, false
+	}
+	return st.servingAP, st.state, true
+}

@@ -1,0 +1,137 @@
+// Package ctlproto implements the WLAN-controller coordination protocol
+// behind the paper's §3.1 roaming design: each AP streams its clients'
+// mobility states to the controller; when a client is walking away from
+// its AP, the controller asks the neighbor APs to probe it with NULL data
+// frames and report signal strength and heading; if a better candidate
+// exists, the controller directs the serving AP to disassociate the
+// client and the candidate set to answer its probes.
+//
+// Messages are length-prefixed JSON over TCP: a 4-byte big-endian length
+// followed by an envelope {type, payload}. The Coordinator implements the
+// decision logic independent of the transport so it is directly testable;
+// Server and APConn wire it to real sockets.
+package ctlproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mobiwlan/internal/core"
+)
+
+// Message types.
+const (
+	// TypeHello registers an AP with the controller.
+	TypeHello = "hello"
+	// TypeMobilityReport carries a client's classifier state from its AP.
+	TypeMobilityReport = "mobility-report"
+	// TypeMeasureRequest asks an AP to probe a client with NULL frames.
+	TypeMeasureRequest = "measure-request"
+	// TypeMeasureReport returns the AP's measurement of the client.
+	TypeMeasureReport = "measure-report"
+	// TypeRoamDirective tells the serving AP to disassociate the client,
+	// and names the candidate APs allowed to answer its probe requests.
+	TypeRoamDirective = "roam-directive"
+)
+
+// Hello registers an AP.
+type Hello struct {
+	APID string `json:"ap_id"`
+}
+
+// MobilityReport is an AP's periodic classifier output for one client.
+type MobilityReport struct {
+	APID   string     `json:"ap_id"`
+	Client string     `json:"client"`
+	State  core.State `json:"state"`
+	Time   float64    `json:"time"`
+	// RSSIdBm is the serving AP's current measurement of the client.
+	RSSIdBm float64 `json:"rssi_dbm"`
+}
+
+// MeasureRequest asks an AP to measure a client.
+type MeasureRequest struct {
+	Client string `json:"client"`
+}
+
+// MeasureReport is an AP's answer to a MeasureRequest.
+type MeasureReport struct {
+	APID    string  `json:"ap_id"`
+	Client  string  `json:"client"`
+	RSSIdBm float64 `json:"rssi_dbm"`
+	// Approaching reports the AP's ToF-trend heading estimate.
+	Approaching bool    `json:"approaching"`
+	Time        float64 `json:"time"`
+}
+
+// RoamDirective orders a forced roam.
+type RoamDirective struct {
+	Client string `json:"client"`
+	// ServingAP must disassociate the client.
+	ServingAP string `json:"serving_ap"`
+	// Candidates are the APs allowed to answer the client's probes.
+	Candidates []string `json:"candidates"`
+}
+
+// Envelope is the wire frame.
+type Envelope struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// maxMessage bounds a single message (sanity limit).
+const maxMessage = 1 << 20
+
+// WriteMsg frames and writes one message.
+func WriteMsg(w io.Writer, msgType string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("ctlproto: marshaling %s: %w", msgType, err)
+	}
+	env, err := json.Marshal(Envelope{Type: msgType, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("ctlproto: marshaling envelope: %w", err)
+	}
+	if len(env) > maxMessage {
+		return fmt.Errorf("ctlproto: message of %d bytes exceeds limit", len(env))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(env)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(env)
+	return err
+}
+
+// ReadMsg reads one framed message.
+func ReadMsg(r io.Reader) (Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxMessage {
+		return Envelope{}, fmt.Errorf("ctlproto: invalid message length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return Envelope{}, fmt.Errorf("ctlproto: decoding envelope: %w", err)
+	}
+	return env, nil
+}
+
+// DecodePayload unmarshals an envelope payload into out.
+func DecodePayload[T any](env Envelope) (T, error) {
+	var out T
+	if err := json.Unmarshal(env.Payload, &out); err != nil {
+		return out, fmt.Errorf("ctlproto: decoding %s payload: %w", env.Type, err)
+	}
+	return out, nil
+}

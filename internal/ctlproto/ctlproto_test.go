@@ -1,0 +1,293 @@
+package ctlproto
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mobiwlan/internal/core"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rep := MobilityReport{APID: "ap1", Client: "aa:bb", State: core.StateMacroAway, Time: 12.5, RSSIdBm: -70}
+	if err := WriteMsg(&buf, TypeMobilityReport, rep); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeMobilityReport {
+		t.Fatalf("type = %q", env.Type)
+	}
+	got, err := DecodePayload[MobilityReport](env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rep {
+		t.Fatalf("round trip: %+v != %+v", got, rep)
+	}
+}
+
+func TestReadMsgRejectsGarbage(t *testing.T) {
+	// Zero length.
+	if _, err := ReadMsg(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero-length message should fail")
+	}
+	// Absurd length.
+	if _, err := ReadMsg(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Fatal("oversized message should fail")
+	}
+	// Truncated body.
+	if _, err := ReadMsg(bytes.NewReader([]byte{0, 0, 0, 10, 'x'})); err == nil {
+		t.Fatal("truncated body should fail")
+	}
+	// Invalid JSON.
+	if _, err := ReadMsg(bytes.NewReader([]byte{0, 0, 0, 3, 'x', 'y', 'z'})); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+}
+
+func TestCoordinatorMeasureFlow(t *testing.T) {
+	c := NewCoordinator()
+	all := []string{"ap1", "ap2", "ap3"}
+	// Static client: nothing happens.
+	if targets := c.OnMobilityReport(MobilityReport{
+		APID: "ap1", Client: "c1", State: core.StateStatic, Time: 1, RSSIdBm: -60,
+	}, all); targets != nil {
+		t.Fatalf("static client triggered measurement: %v", targets)
+	}
+	// Macro-away: measure on the two neighbors.
+	targets := c.OnMobilityReport(MobilityReport{
+		APID: "ap1", Client: "c1", State: core.StateMacroAway, Time: 2, RSSIdBm: -70,
+	}, all)
+	if len(targets) != 2 || targets[0] == "ap1" || targets[1] == "ap1" {
+		t.Fatalf("targets = %v", targets)
+	}
+	// First report: pending.
+	if d, ok := c.OnMeasureReport(MeasureReport{
+		APID: "ap2", Client: "c1", RSSIdBm: -68, Approaching: true, Time: 2.5,
+	}, 2); ok || d != nil {
+		t.Fatal("decision before all reports arrived")
+	}
+	// Second report completes the round; ap2 is approaching and stronger.
+	d, ok := c.OnMeasureReport(MeasureReport{
+		APID: "ap3", Client: "c1", RSSIdBm: -60, Approaching: false, Time: 2.6,
+	}, 2)
+	if !ok || d == nil {
+		t.Fatal("expected a roam directive")
+	}
+	if d.ServingAP != "ap1" || d.Client != "c1" {
+		t.Fatalf("directive = %+v", d)
+	}
+	if len(d.Candidates) != 1 || d.Candidates[0] != "ap2" {
+		t.Fatalf("candidates = %v (ap3 is not approaching)", d.Candidates)
+	}
+}
+
+func TestCoordinatorNoCandidates(t *testing.T) {
+	c := NewCoordinator()
+	all := []string{"ap1", "ap2"}
+	c.OnMobilityReport(MobilityReport{
+		APID: "ap1", Client: "c1", State: core.StateMacroAway, Time: 1, RSSIdBm: -60,
+	}, all)
+	// Neighbor much weaker: no roam.
+	d, ok := c.OnMeasureReport(MeasureReport{
+		APID: "ap2", Client: "c1", RSSIdBm: -80, Approaching: true, Time: 1.5,
+	}, 1)
+	if ok || d != nil {
+		t.Fatal("weak candidate should not trigger a roam")
+	}
+}
+
+func TestCoordinatorThrottle(t *testing.T) {
+	c := NewCoordinator()
+	all := []string{"ap1", "ap2"}
+	roam := func(tm float64) bool {
+		targets := c.OnMobilityReport(MobilityReport{
+			APID: "ap1", Client: "c1", State: core.StateMacroAway, Time: tm, RSSIdBm: -70,
+		}, all)
+		if targets == nil {
+			return false
+		}
+		_, ok := c.OnMeasureReport(MeasureReport{
+			APID: "ap2", Client: "c1", RSSIdBm: -60, Approaching: true, Time: tm,
+		}, 1)
+		return ok
+	}
+	if !roam(10) {
+		t.Fatal("first roam should fire")
+	}
+	if roam(11) {
+		t.Fatal("roam within MinInterval should be throttled")
+	}
+	if !roam(20) {
+		t.Fatal("roam after the interval should fire again")
+	}
+}
+
+func TestCoordinatorClientState(t *testing.T) {
+	c := NewCoordinator()
+	if _, _, ok := c.ClientState("nobody"); ok {
+		t.Fatal("unknown client should report !ok")
+	}
+	c.OnMobilityReport(MobilityReport{APID: "ap9", Client: "c2", State: core.StateMicro, Time: 1}, nil)
+	ap, st, ok := c.ClientState("c2")
+	if !ok || ap != "ap9" || st != core.StateMicro {
+		t.Fatalf("ClientState = %v %v %v", ap, st, ok)
+	}
+}
+
+// waitEnv receives one inbound envelope with a timeout.
+func waitEnv(t *testing.T, ch chan Envelope, wantType string) Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			t.Fatalf("connection closed while waiting for %s", wantType)
+		}
+		if env.Type != wantType {
+			t.Fatalf("got %q, want %q", env.Type, wantType)
+		}
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timeout waiting for %s", wantType)
+	}
+	return Envelope{}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewCoordinator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Logf = t.Logf
+
+	ap1, err := Dial(srv.Addr(), "ap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap1.Close()
+	ap2, err := Dial(srv.Addr(), "ap2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap2.Close()
+
+	// Wait until both hellos registered.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.APs()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("APs never registered: %v", srv.APs())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ap1 reports its client walking away.
+	if err := ap1.ReportMobility(MobilityReport{
+		Client: "aa:bb:cc:dd:ee:ff", State: core.StateMacroAway, Time: 3, RSSIdBm: -72,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ap2 receives a measurement request...
+	env := waitEnv(t, ap2.Inbound, TypeMeasureRequest)
+	req, err := DecodePayload[MeasureRequest](env)
+	if err != nil || req.Client != "aa:bb:cc:dd:ee:ff" {
+		t.Fatalf("measure request = %+v, err %v", req, err)
+	}
+	// ...and answers: strong and approaching.
+	if err := ap2.ReportMeasurement(MeasureReport{
+		Client: req.Client, RSSIdBm: -65, Approaching: true, Time: 3.2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ap1 (the serving AP) receives the roam directive.
+	env = waitEnv(t, ap1.Inbound, TypeRoamDirective)
+	d, err := DecodePayload[RoamDirective](env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ServingAP != "ap1" || len(d.Candidates) != 1 || d.Candidates[0] != "ap2" {
+		t.Fatalf("directive = %+v", d)
+	}
+}
+
+func TestServerRejectsNoHello(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewCoordinator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var logs []string
+	srv.Logf = func(f string, a ...any) { logs = append(logs, f) }
+
+	// Raw dial, send a non-hello first message.
+	conn, err := Dial(srv.Addr(), "") // empty APID is rejected server-side
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	if got := srv.APs(); len(got) != 0 {
+		t.Fatalf("empty-ID AP registered: %v", got)
+	}
+	_ = strings.Join(logs, "") // logs are advisory
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewCoordinator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := Dial(srv.Addr(), "apX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Close()
+	srv.Close()
+	select {
+	case _, ok := <-ap.Inbound:
+		if ok {
+			t.Fatal("unexpected message")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Inbound did not close after server shutdown")
+	}
+}
+
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	f := func(apRaw, clientRaw [8]byte, state uint8, tm float64, rssi float64) bool {
+		var buf bytes.Buffer
+		rep := MobilityReport{
+			APID:    fmt.Sprintf("%x", apRaw),
+			Client:  fmt.Sprintf("%x", clientRaw),
+			State:   core.State(state % 6),
+			Time:    tm,
+			RSSIdBm: rssi,
+		}
+		if err := WriteMsg(&buf, TypeMobilityReport, rep); err != nil {
+			return false
+		}
+		env, err := ReadMsg(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := DecodePayload[MobilityReport](env)
+		if err != nil {
+			return false
+		}
+		// NaN/Inf are not JSON-encodable floats; quick won't generate them
+		// from float64 params often, but guard anyway.
+		return got.APID == rep.APID && got.Client == rep.Client && got.State == rep.State
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package ctlproto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Server is the WLAN controller endpoint: it accepts AP connections,
+// routes their reports through a Coordinator, and pushes measurement
+// requests and roam directives back to the right APs.
+type Server struct {
+	coord *Coordinator
+	ln    net.Listener
+	// Logf, when set, receives protocol-level diagnostics.
+	Logf func(format string, args ...any)
+
+	mu   sync.Mutex
+	aps  map[string]*apSession
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type apSession struct {
+	id   string
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (s *apSession) send(msgType string, payload any) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return WriteMsg(s.conn, msgType, payload)
+}
+
+// NewServer starts a controller listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, coord *Coordinator) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctlproto: listen: %w", err)
+	}
+	s := &Server{
+		coord: coord,
+		ln:    ln,
+		aps:   map[string]*apSession{},
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the controller's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the controller and its connections.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, ap := range s.aps {
+		ap.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// APs returns the currently registered AP IDs.
+func (s *Server) APs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.aps))
+	for id := range s.aps {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				s.logf("ctlproto: accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	// First message must be a Hello.
+	env, err := ReadMsg(conn)
+	if err != nil || env.Type != TypeHello {
+		s.logf("ctlproto: connection without hello: %v", err)
+		return
+	}
+	hello, err := DecodePayload[Hello](env)
+	if err != nil || hello.APID == "" {
+		s.logf("ctlproto: bad hello: %v", err)
+		return
+	}
+	sess := &apSession{id: hello.APID, conn: conn}
+	s.mu.Lock()
+	s.aps[hello.APID] = sess
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.aps[hello.APID] == sess {
+			delete(s.aps, hello.APID)
+		}
+		s.mu.Unlock()
+	}()
+
+	for {
+		env, err := ReadMsg(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("ctlproto: %s: read: %v", hello.APID, err)
+			}
+			return
+		}
+		if err := s.handle(env); err != nil {
+			s.logf("ctlproto: %s: %v", hello.APID, err)
+		}
+	}
+}
+
+func (s *Server) handle(env Envelope) error {
+	switch env.Type {
+	case TypeMobilityReport:
+		rep, err := DecodePayload[MobilityReport](env)
+		if err != nil {
+			return err
+		}
+		targets := s.coord.OnMobilityReport(rep, s.APs())
+		for _, ap := range targets {
+			s.sendTo(ap, TypeMeasureRequest, MeasureRequest{Client: rep.Client})
+		}
+	case TypeMeasureReport:
+		rep, err := DecodePayload[MeasureReport](env)
+		if err != nil {
+			return err
+		}
+		expected := len(s.APs()) - 1
+		if expected < 1 {
+			expected = 1
+		}
+		if directive, ok := s.coord.OnMeasureReport(rep, expected); ok {
+			s.sendTo(directive.ServingAP, TypeRoamDirective, directive)
+		}
+	default:
+		return fmt.Errorf("unexpected message type %q", env.Type)
+	}
+	return nil
+}
+
+func (s *Server) sendTo(apID, msgType string, payload any) {
+	s.mu.Lock()
+	sess := s.aps[apID]
+	s.mu.Unlock()
+	if sess == nil {
+		s.logf("ctlproto: no session for AP %s", apID)
+		return
+	}
+	if err := sess.send(msgType, payload); err != nil {
+		s.logf("ctlproto: send to %s: %v", apID, err)
+	}
+}
+
+// APConn is an AP's client connection to the controller.
+type APConn struct {
+	ID   string
+	conn net.Conn
+	wmu  sync.Mutex
+	// Inbound delivers controller-initiated messages (MeasureRequest,
+	// RoamDirective). The channel closes when the connection drops.
+	Inbound chan Envelope
+}
+
+// Dial connects an AP to the controller and registers it.
+func Dial(addr, apID string) (*APConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctlproto: dial: %w", err)
+	}
+	a := &APConn{ID: apID, conn: conn, Inbound: make(chan Envelope, 16)}
+	if err := WriteMsg(conn, TypeHello, Hello{APID: apID}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go a.readLoop()
+	return a, nil
+}
+
+func (a *APConn) readLoop() {
+	defer close(a.Inbound)
+	for {
+		env, err := ReadMsg(a.conn)
+		if err != nil {
+			return
+		}
+		a.Inbound <- env
+	}
+}
+
+// ReportMobility sends a classifier state update to the controller.
+func (a *APConn) ReportMobility(rep MobilityReport) error {
+	rep.APID = a.ID
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return WriteMsg(a.conn, TypeMobilityReport, rep)
+}
+
+// ReportMeasurement answers a MeasureRequest.
+func (a *APConn) ReportMeasurement(rep MeasureReport) error {
+	rep.APID = a.ID
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return WriteMsg(a.conn, TypeMeasureReport, rep)
+}
+
+// Close drops the connection.
+func (a *APConn) Close() error { return a.conn.Close() }
+
+var _ = log.Printf // Logf mirrors the stdlib signature

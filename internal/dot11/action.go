@@ -1,0 +1,198 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mobiwlan/internal/csi"
+)
+
+// Action categories and actions used by this system.
+const (
+	// CategoryHT is the HT action category.
+	CategoryHT = 7
+	// ActionCSIReport is the HT "CSI" action: the explicit compressed
+	// beamforming feedback report (paper §6).
+	ActionCSIReport = 0
+)
+
+// Action is an 802.11 action frame. Only the HT CSI feedback report is
+// given a typed body; other categories round-trip as raw bytes.
+type Action struct {
+	Hdr      Header
+	Category uint8
+	Code     uint8
+	// Report is non-nil for CategoryHT/ActionCSIReport frames.
+	Report *CSIReport
+	// Raw holds the body of unmodeled actions.
+	Raw []byte
+}
+
+// Header implements Frame.
+func (f *Action) Header() Header { return f.Hdr }
+
+// Marshal implements Frame.
+func (f *Action) Marshal() ([]byte, error) {
+	var body []byte
+	if f.Category == CategoryHT && f.Code == ActionCSIReport {
+		if f.Report == nil {
+			return nil, fmt.Errorf("dot11: CSI action frame without report")
+		}
+		var err error
+		body, err = f.Report.marshal()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		body = f.Raw
+	}
+	b := make([]byte, headerLen+2+len(body))
+	f.Hdr.FC.Type = TypeManagement
+	f.Hdr.FC.Subtype = SubtypeAction
+	f.Hdr.marshalTo(b)
+	b[headerLen] = f.Category
+	b[headerLen+1] = f.Code
+	copy(b[headerLen+2:], body)
+	return b, nil
+}
+
+func decodeAction(h Header, body []byte) (*Action, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: action frame missing category/code", ErrTruncated)
+	}
+	a := &Action{Hdr: h, Category: body[0], Code: body[1]}
+	rest := body[2:]
+	if a.Category == CategoryHT && a.Code == ActionCSIReport {
+		rep, err := parseCSIReport(rest)
+		if err != nil {
+			return nil, err
+		}
+		a.Report = rep
+		return a, nil
+	}
+	a.Raw = make([]byte, len(rest))
+	copy(a.Raw, rest)
+	return a, nil
+}
+
+// CSIReport is the compressed CSI feedback body: fixed-point quantized
+// channel components for every (grouped) subcarrier and antenna pair.
+type CSIReport struct {
+	// Subcarriers, NTx, NRx are the reported dimensions (after grouping).
+	Subcarriers, NTx, NRx uint8
+	// BitsPerComponent is the quantization (4, 6 or 8 on real hardware;
+	// 8 is what this codec emits and accepts).
+	BitsPerComponent uint8
+	// Scale maps the quantized int8 components back to channel gain:
+	// value = q * Scale. Carried as a float32 on the wire.
+	Scale float32
+	// Q holds interleaved re,im int8 components in csi.Matrix order.
+	Q []int8
+}
+
+const csiReportFixedLen = 8
+
+func (r *CSIReport) marshal() ([]byte, error) {
+	want := 2 * int(r.Subcarriers) * int(r.NTx) * int(r.NRx)
+	if len(r.Q) != want {
+		return nil, fmt.Errorf("dot11: CSI report has %d components, want %d", len(r.Q), want)
+	}
+	b := make([]byte, csiReportFixedLen+len(r.Q))
+	b[0] = r.Subcarriers
+	b[1] = r.NTx
+	b[2] = r.NRx
+	b[3] = r.BitsPerComponent
+	binary.LittleEndian.PutUint32(b[4:8], math.Float32bits(r.Scale))
+	for i, q := range r.Q {
+		b[csiReportFixedLen+i] = byte(q)
+	}
+	return b, nil
+}
+
+func parseCSIReport(b []byte) (*CSIReport, error) {
+	if len(b) < csiReportFixedLen {
+		return nil, fmt.Errorf("%w: CSI report header", ErrTruncated)
+	}
+	r := &CSIReport{
+		Subcarriers:      b[0],
+		NTx:              b[1],
+		NRx:              b[2],
+		BitsPerComponent: b[3],
+		Scale:            math.Float32frombits(binary.LittleEndian.Uint32(b[4:8])),
+	}
+	want := 2 * int(r.Subcarriers) * int(r.NTx) * int(r.NRx)
+	if len(b) != csiReportFixedLen+want {
+		return nil, fmt.Errorf("%w: CSI report body %d bytes, want %d",
+			ErrTruncated, len(b)-csiReportFixedLen, want)
+	}
+	r.Q = make([]int8, want)
+	for i := range r.Q {
+		r.Q[i] = int8(b[csiReportFixedLen+i])
+	}
+	return r, nil
+}
+
+// NewCSIReport quantizes a CSI matrix into a feedback report with the
+// given subcarrier grouping (every grouping-th subcarrier is reported).
+func NewCSIReport(m *csi.Matrix, grouping int) (*CSIReport, error) {
+	if m == nil {
+		return nil, fmt.Errorf("dot11: nil CSI matrix")
+	}
+	if grouping < 1 {
+		grouping = 1
+	}
+	nsc := (m.Subcarriers + grouping - 1) / grouping
+	if nsc > 255 || m.NTx > 255 || m.NRx > 255 {
+		return nil, fmt.Errorf("dot11: CSI dimensions exceed report limits")
+	}
+	maxAbs := m.MaxAbs()
+	scale := maxAbs / 127
+	if scale == 0 {
+		scale = 1
+	}
+	r := &CSIReport{
+		Subcarriers:      uint8(nsc),
+		NTx:              uint8(m.NTx),
+		NRx:              uint8(m.NRx),
+		BitsPerComponent: 8,
+		Scale:            float32(scale),
+		Q:                make([]int8, 0, 2*nsc*m.NTx*m.NRx),
+	}
+	quant := func(x float64) int8 {
+		v := math.Round(x / scale)
+		if v > 127 {
+			v = 127
+		}
+		if v < -127 {
+			v = -127
+		}
+		return int8(v)
+	}
+	for sc := 0; sc < m.Subcarriers; sc += grouping {
+		for tx := 0; tx < m.NTx; tx++ {
+			for rx := 0; rx < m.NRx; rx++ {
+				v := m.At(sc, tx, rx)
+				r.Q = append(r.Q, quant(real(v)), quant(imag(v)))
+			}
+		}
+	}
+	return r, nil
+}
+
+// Matrix reconstructs the (grouped) CSI matrix the report carries.
+func (r *CSIReport) Matrix() *csi.Matrix {
+	m := csi.NewMatrix(int(r.Subcarriers), int(r.NTx), int(r.NRx))
+	i := 0
+	for sc := 0; sc < int(r.Subcarriers); sc++ {
+		for tx := 0; tx < int(r.NTx); tx++ {
+			for rx := 0; rx < int(r.NRx); rx++ {
+				m.Set(sc, tx, rx, complex(
+					float64(r.Q[i])*float64(r.Scale),
+					float64(r.Q[i+1])*float64(r.Scale)))
+				i += 2
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,414 @@
+// Package dot11 implements wire encoding and decoding for the 802.11 MAC
+// frames this system actually puts on the air: QoS data / QoS Null frames
+// (the controller's NULL-data probes), Block ACKs, disassociation (the
+// controller-forced roam trigger), probe requests/responses (scanning),
+// and the action frame carrying compressed CSI feedback for beamforming.
+//
+// The design follows the layered-decoding idiom of packet libraries:
+// Decode parses the common MAC header and dispatches on frame type and
+// subtype to a typed frame struct; every typed frame marshals back to the
+// identical bytes. All multi-byte fields are little-endian, as in the
+// 802.11 standard.
+package dot11
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit hardware address.
+type MAC [6]byte
+
+// String implements fmt.Stringer.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// FrameType is the 2-bit 802.11 frame type.
+type FrameType uint8
+
+// Frame types.
+const (
+	TypeManagement FrameType = 0
+	TypeControl    FrameType = 1
+	TypeData       FrameType = 2
+)
+
+// Subtypes used by this system.
+const (
+	SubtypeProbeRequest   = 0x4
+	SubtypeProbeResponse  = 0x5
+	SubtypeDisassociation = 0xA
+	SubtypeAction         = 0xD
+
+	SubtypeBlockAck = 0x9
+
+	SubtypeQoSData = 0x8
+	SubtypeQoSNull = 0xC
+)
+
+// FrameControl is the first 16 bits of every frame.
+type FrameControl struct {
+	// Version is the protocol version (0).
+	Version uint8
+	// Type is the 2-bit frame type.
+	Type FrameType
+	// Subtype is the 4-bit subtype.
+	Subtype uint8
+	// ToDS / FromDS are the distribution-system flags.
+	ToDS, FromDS bool
+	// Retry marks retransmissions.
+	Retry bool
+}
+
+// marshal packs the frame-control field.
+func (fc FrameControl) marshal() uint16 {
+	v := uint16(fc.Version&0x3) |
+		uint16(fc.Type&0x3)<<2 |
+		uint16(fc.Subtype&0xF)<<4
+	if fc.ToDS {
+		v |= 1 << 8
+	}
+	if fc.FromDS {
+		v |= 1 << 9
+	}
+	if fc.Retry {
+		v |= 1 << 11
+	}
+	return v
+}
+
+func parseFrameControl(v uint16) FrameControl {
+	return FrameControl{
+		Version: uint8(v & 0x3),
+		Type:    FrameType(v >> 2 & 0x3),
+		Subtype: uint8(v >> 4 & 0xF),
+		ToDS:    v&(1<<8) != 0,
+		FromDS:  v&(1<<9) != 0,
+		Retry:   v&(1<<11) != 0,
+	}
+}
+
+// Header is the common MAC header (three-address format).
+type Header struct {
+	FC       FrameControl
+	Duration uint16
+	// Addr1 is the receiver, Addr2 the transmitter, Addr3 the BSSID (or
+	// DA/SA depending on the DS bits).
+	Addr1, Addr2, Addr3 MAC
+	// Seq packs the 12-bit sequence number and 4-bit fragment number.
+	Seq uint16
+}
+
+// headerLen is the three-address MAC header size.
+const headerLen = 24
+
+func (h Header) marshalTo(b []byte) {
+	binary.LittleEndian.PutUint16(b[0:2], h.FC.marshal())
+	binary.LittleEndian.PutUint16(b[2:4], h.Duration)
+	copy(b[4:10], h.Addr1[:])
+	copy(b[10:16], h.Addr2[:])
+	copy(b[16:22], h.Addr3[:])
+	binary.LittleEndian.PutUint16(b[22:24], h.Seq)
+}
+
+func parseHeader(b []byte) (Header, error) {
+	if len(b) < headerLen {
+		return Header{}, fmt.Errorf("dot11: frame too short for MAC header: %d bytes", len(b))
+	}
+	var h Header
+	h.FC = parseFrameControl(binary.LittleEndian.Uint16(b[0:2]))
+	h.Duration = binary.LittleEndian.Uint16(b[2:4])
+	copy(h.Addr1[:], b[4:10])
+	copy(h.Addr2[:], b[10:16])
+	copy(h.Addr3[:], b[16:22])
+	h.Seq = binary.LittleEndian.Uint16(b[22:24])
+	return h, nil
+}
+
+// Frame is any typed 802.11 frame in this package.
+type Frame interface {
+	// Header returns the common MAC header.
+	Header() Header
+	// Marshal serializes the frame to its wire format.
+	Marshal() ([]byte, error)
+}
+
+// ErrTruncated is returned when a frame body is shorter than its fixed
+// fields require.
+var ErrTruncated = errors.New("dot11: truncated frame")
+
+// ErrUnsupported is returned for type/subtype combinations this package
+// does not model.
+var ErrUnsupported = errors.New("dot11: unsupported frame type/subtype")
+
+// Decode parses a frame and returns its typed representation: *QoSData,
+// *QoSNull, *BlockAck, *Disassociation, *ProbeRequest, *ProbeResponse, or
+// *Action.
+func Decode(b []byte) (Frame, error) {
+	h, err := parseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	body := b[headerLen:]
+	switch h.FC.Type {
+	case TypeData:
+		switch h.FC.Subtype {
+		case SubtypeQoSData:
+			return decodeQoSData(h, body)
+		case SubtypeQoSNull:
+			return decodeQoSNull(h, body)
+		}
+	case TypeControl:
+		if h.FC.Subtype == SubtypeBlockAck {
+			return decodeBlockAck(h, body)
+		}
+	case TypeManagement:
+		switch h.FC.Subtype {
+		case SubtypeDisassociation:
+			return decodeDisassociation(h, body)
+		case SubtypeProbeRequest:
+			return decodeProbeRequest(h, body)
+		case SubtypeProbeResponse:
+			return decodeProbeResponse(h, body)
+		case SubtypeAction:
+			return decodeAction(h, body)
+		}
+	}
+	return nil, fmt.Errorf("%w: type %d subtype %#x", ErrUnsupported, h.FC.Type, h.FC.Subtype)
+}
+
+// --- QoS data / null ---
+
+// QoSData is an A-MPDU subframe payload carrier.
+type QoSData struct {
+	Hdr Header
+	// TID is the traffic identifier (QoS control low bits).
+	TID uint8
+	// Payload is the MSDU.
+	Payload []byte
+}
+
+// Header implements Frame.
+func (f *QoSData) Header() Header { return f.Hdr }
+
+// Marshal implements Frame.
+func (f *QoSData) Marshal() ([]byte, error) {
+	b := make([]byte, headerLen+2+len(f.Payload))
+	f.Hdr.FC.Type = TypeData
+	f.Hdr.FC.Subtype = SubtypeQoSData
+	f.Hdr.marshalTo(b)
+	binary.LittleEndian.PutUint16(b[headerLen:], uint16(f.TID&0xF))
+	copy(b[headerLen+2:], f.Payload)
+	return b, nil
+}
+
+func decodeQoSData(h Header, body []byte) (*QoSData, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: QoS data missing QoS control", ErrTruncated)
+	}
+	qc := binary.LittleEndian.Uint16(body[0:2])
+	payload := make([]byte, len(body)-2)
+	copy(payload, body[2:])
+	return &QoSData{Hdr: h, TID: uint8(qc & 0xF), Payload: payload}, nil
+}
+
+// QoSNull is the payload-less frame the controller uses to elicit an ACK
+// (and hence CSI + ToF) from a client that has no traffic (paper §3.1).
+type QoSNull struct {
+	Hdr Header
+	TID uint8
+}
+
+// Header implements Frame.
+func (f *QoSNull) Header() Header { return f.Hdr }
+
+// Marshal implements Frame.
+func (f *QoSNull) Marshal() ([]byte, error) {
+	b := make([]byte, headerLen+2)
+	f.Hdr.FC.Type = TypeData
+	f.Hdr.FC.Subtype = SubtypeQoSNull
+	f.Hdr.marshalTo(b)
+	binary.LittleEndian.PutUint16(b[headerLen:], uint16(f.TID&0xF))
+	return b, nil
+}
+
+func decodeQoSNull(h Header, body []byte) (*QoSNull, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: QoS null missing QoS control", ErrTruncated)
+	}
+	qc := binary.LittleEndian.Uint16(body[0:2])
+	return &QoSNull{Hdr: h, TID: uint8(qc & 0xF)}, nil
+}
+
+// --- Block ACK ---
+
+// BlockAck acknowledges up to 64 A-MPDU subframes.
+type BlockAck struct {
+	Hdr Header
+	// StartSeq is the first sequence number covered by the bitmap.
+	StartSeq uint16
+	// Bitmap has bit k set when subframe StartSeq+k was received.
+	Bitmap uint64
+}
+
+// Header implements Frame.
+func (f *BlockAck) Header() Header { return f.Hdr }
+
+// Marshal implements Frame.
+func (f *BlockAck) Marshal() ([]byte, error) {
+	b := make([]byte, headerLen+2+8)
+	f.Hdr.FC.Type = TypeControl
+	f.Hdr.FC.Subtype = SubtypeBlockAck
+	f.Hdr.marshalTo(b)
+	binary.LittleEndian.PutUint16(b[headerLen:], f.StartSeq)
+	binary.LittleEndian.PutUint64(b[headerLen+2:], f.Bitmap)
+	return b, nil
+}
+
+func decodeBlockAck(h Header, body []byte) (*BlockAck, error) {
+	if len(body) < 10 {
+		return nil, fmt.Errorf("%w: BlockAck body %d bytes", ErrTruncated, len(body))
+	}
+	return &BlockAck{
+		Hdr:      h,
+		StartSeq: binary.LittleEndian.Uint16(body[0:2]),
+		Bitmap:   binary.LittleEndian.Uint64(body[2:10]),
+	}, nil
+}
+
+// Delivered counts acknowledged subframes among the first n.
+func (f *BlockAck) Delivered(n int) int {
+	if n > 64 {
+		n = 64
+	}
+	count := 0
+	for k := 0; k < n; k++ {
+		if f.Bitmap&(1<<uint(k)) != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// --- management frames ---
+
+// Disassociation carries the reason code of a forced disassociation —
+// how the motion-aware controller encourages a client to roam.
+type Disassociation struct {
+	Hdr Header
+	// Reason is the 802.11 reason code (8 = disassociated because the
+	// station left; the controller uses it as a roam nudge).
+	Reason uint16
+}
+
+// Header implements Frame.
+func (f *Disassociation) Header() Header { return f.Hdr }
+
+// Marshal implements Frame.
+func (f *Disassociation) Marshal() ([]byte, error) {
+	b := make([]byte, headerLen+2)
+	f.Hdr.FC.Type = TypeManagement
+	f.Hdr.FC.Subtype = SubtypeDisassociation
+	f.Hdr.marshalTo(b)
+	binary.LittleEndian.PutUint16(b[headerLen:], f.Reason)
+	return b, nil
+}
+
+func decodeDisassociation(h Header, body []byte) (*Disassociation, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: disassociation missing reason", ErrTruncated)
+	}
+	return &Disassociation{Hdr: h, Reason: binary.LittleEndian.Uint16(body[0:2])}, nil
+}
+
+// ProbeRequest is a client scan probe; the SSID element is the only one
+// modeled.
+type ProbeRequest struct {
+	Hdr  Header
+	SSID string
+}
+
+// Header implements Frame.
+func (f *ProbeRequest) Header() Header { return f.Hdr }
+
+// Marshal implements Frame.
+func (f *ProbeRequest) Marshal() ([]byte, error) {
+	if len(f.SSID) > 32 {
+		return nil, fmt.Errorf("dot11: SSID %q longer than 32 bytes", f.SSID)
+	}
+	b := make([]byte, headerLen+2+len(f.SSID))
+	f.Hdr.FC.Type = TypeManagement
+	f.Hdr.FC.Subtype = SubtypeProbeRequest
+	f.Hdr.marshalTo(b)
+	b[headerLen] = 0 // element ID: SSID
+	b[headerLen+1] = byte(len(f.SSID))
+	copy(b[headerLen+2:], f.SSID)
+	return b, nil
+}
+
+func decodeProbeRequest(h Header, body []byte) (*ProbeRequest, error) {
+	ssid, err := parseSSIDElement(body)
+	if err != nil {
+		return nil, err
+	}
+	return &ProbeRequest{Hdr: h, SSID: ssid}, nil
+}
+
+// ProbeResponse answers a scan probe. Only the APs in the controller's
+// candidate set respond during a motion-aware roam (paper §3.1).
+type ProbeResponse struct {
+	Hdr  Header
+	SSID string
+	// RSSIdBm is carried out-of-band by the receiver's radiotap header in
+	// real captures; it is included here for the simulator's bookkeeping.
+	RSSIdBm int8
+}
+
+// Header implements Frame.
+func (f *ProbeResponse) Header() Header { return f.Hdr }
+
+// Marshal implements Frame.
+func (f *ProbeResponse) Marshal() ([]byte, error) {
+	if len(f.SSID) > 32 {
+		return nil, fmt.Errorf("dot11: SSID %q longer than 32 bytes", f.SSID)
+	}
+	b := make([]byte, headerLen+1+2+len(f.SSID))
+	f.Hdr.FC.Type = TypeManagement
+	f.Hdr.FC.Subtype = SubtypeProbeResponse
+	f.Hdr.marshalTo(b)
+	b[headerLen] = byte(f.RSSIdBm)
+	b[headerLen+1] = 0
+	b[headerLen+2] = byte(len(f.SSID))
+	copy(b[headerLen+3:], f.SSID)
+	return b, nil
+}
+
+func decodeProbeResponse(h Header, body []byte) (*ProbeResponse, error) {
+	if len(body) < 1 {
+		return nil, fmt.Errorf("%w: probe response missing RSSI", ErrTruncated)
+	}
+	ssid, err := parseSSIDElement(body[1:])
+	if err != nil {
+		return nil, err
+	}
+	return &ProbeResponse{Hdr: h, SSID: ssid, RSSIdBm: int8(body[0])}, nil
+}
+
+func parseSSIDElement(b []byte) (string, error) {
+	if len(b) < 2 {
+		return "", fmt.Errorf("%w: missing SSID element", ErrTruncated)
+	}
+	if b[0] != 0 {
+		return "", fmt.Errorf("dot11: expected SSID element ID 0, got %d", b[0])
+	}
+	n := int(b[1])
+	if n > 32 {
+		return "", fmt.Errorf("dot11: SSID element length %d exceeds 32", n)
+	}
+	if len(b) < 2+n {
+		return "", fmt.Errorf("%w: SSID element shorter than its length field", ErrTruncated)
+	}
+	return string(b[2 : 2+n]), nil
+}

@@ -1,0 +1,361 @@
+package dot11
+
+import (
+	"errors"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/stats"
+)
+
+var (
+	apMAC     = MAC{0x00, 0x11, 0x22, 0x33, 0x44, 0x55}
+	clientMAC = MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+)
+
+func hdr(seq uint16) Header {
+	return Header{
+		Duration: 44,
+		Addr1:    clientMAC,
+		Addr2:    apMAC,
+		Addr3:    apMAC,
+		Seq:      seq,
+	}
+}
+
+func roundTrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// Re-marshal must be byte-identical.
+	b2, err := g.Marshal()
+	if err != nil {
+		t.Fatalf("re-Marshal: %v", err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("round-trip bytes differ:\n% x\n% x", b, b2)
+	}
+	return g
+}
+
+func TestMACString(t *testing.T) {
+	if got := apMAC.String(); got != "00:11:22:33:44:55" {
+		t.Fatalf("MAC.String = %q", got)
+	}
+}
+
+func TestQoSDataRoundTrip(t *testing.T) {
+	f := &QoSData{Hdr: hdr(7), TID: 5, Payload: []byte("hello wireless world")}
+	g := roundTrip(t, f).(*QoSData)
+	if g.TID != 5 || string(g.Payload) != "hello wireless world" {
+		t.Fatalf("decoded = %+v", g)
+	}
+	if g.Header().Seq != 7 || g.Header().Addr2 != apMAC {
+		t.Fatalf("header mangled: %+v", g.Header())
+	}
+}
+
+func TestQoSNullRoundTrip(t *testing.T) {
+	f := &QoSNull{Hdr: hdr(9), TID: 0}
+	g := roundTrip(t, f).(*QoSNull)
+	if g.Header().FC.Subtype != SubtypeQoSNull {
+		t.Fatal("subtype not set")
+	}
+}
+
+func TestBlockAckRoundTripAndDelivered(t *testing.T) {
+	f := &BlockAck{Hdr: hdr(0), StartSeq: 100, Bitmap: 0b1011}
+	g := roundTrip(t, f).(*BlockAck)
+	if g.StartSeq != 100 || g.Bitmap != 0b1011 {
+		t.Fatalf("decoded = %+v", g)
+	}
+	if got := g.Delivered(4); got != 3 {
+		t.Fatalf("Delivered(4) = %d, want 3", got)
+	}
+	if got := g.Delivered(2); got != 2 {
+		t.Fatalf("Delivered(2) = %d, want 2", got)
+	}
+	if got := g.Delivered(200); got != 3 {
+		t.Fatalf("Delivered(200) = %d (should clamp to 64 bits)", got)
+	}
+}
+
+func TestDisassociationRoundTrip(t *testing.T) {
+	f := &Disassociation{Hdr: hdr(3), Reason: 8}
+	g := roundTrip(t, f).(*Disassociation)
+	if g.Reason != 8 {
+		t.Fatalf("reason = %d", g.Reason)
+	}
+}
+
+func TestProbeRequestRoundTrip(t *testing.T) {
+	f := &ProbeRequest{Hdr: hdr(1), SSID: "corp-wifi"}
+	g := roundTrip(t, f).(*ProbeRequest)
+	if g.SSID != "corp-wifi" {
+		t.Fatalf("SSID = %q", g.SSID)
+	}
+}
+
+func TestProbeResponseRoundTrip(t *testing.T) {
+	f := &ProbeResponse{Hdr: hdr(2), SSID: "corp-wifi", RSSIdBm: -67}
+	g := roundTrip(t, f).(*ProbeResponse)
+	if g.SSID != "corp-wifi" || g.RSSIdBm != -67 {
+		t.Fatalf("decoded = %+v", g)
+	}
+}
+
+func TestSSIDTooLong(t *testing.T) {
+	f := &ProbeRequest{Hdr: hdr(1), SSID: string(make([]byte, 33))}
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("expected error for 33-byte SSID")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame should fail")
+	}
+	// Valid header but unsupported subtype (management subtype 0x1).
+	h := hdr(0)
+	h.FC.Type = TypeManagement
+	h.FC.Subtype = 0x1
+	b := make([]byte, headerLen)
+	h.marshalTo(b)
+	_, err := Decode(b)
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+	// Truncated BlockAck body.
+	h.FC.Type = TypeControl
+	h.FC.Subtype = SubtypeBlockAck
+	b = make([]byte, headerLen+4)
+	h.marshalTo(b)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("truncated BlockAck should fail")
+	}
+}
+
+func TestFrameControlFlags(t *testing.T) {
+	fc := FrameControl{Type: TypeData, Subtype: SubtypeQoSData, ToDS: true, Retry: true}
+	got := parseFrameControl(fc.marshal())
+	if !got.ToDS || got.FromDS || !got.Retry {
+		t.Fatalf("flags mangled: %+v", got)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(dur, seq uint16, a1, a2, a3 [6]byte, subRaw uint8) bool {
+		h := Header{
+			FC:       FrameControl{Type: TypeData, Subtype: SubtypeQoSNull},
+			Duration: dur,
+			Addr1:    MAC(a1), Addr2: MAC(a2), Addr3: MAC(a3),
+			Seq: seq,
+		}
+		b := make([]byte, headerLen)
+		h.marshalTo(b)
+		got, err := parseHeader(b)
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomCSI(rng *stats.RNG) *csi.Matrix {
+	m := csi.NewMatrix(52, 3, 2)
+	for sc := 0; sc < 52; sc++ {
+		for tx := 0; tx < 3; tx++ {
+			for rx := 0; rx < 2; rx++ {
+				m.Set(sc, tx, rx, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+	}
+	return m
+}
+
+func TestCSIReportRoundTrip(t *testing.T) {
+	m := randomCSI(stats.NewRNG(1))
+	rep, err := NewCSIReport(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Action{Hdr: hdr(5), Category: CategoryHT, Code: ActionCSIReport, Report: rep}
+	g := roundTrip(t, f).(*Action)
+	if g.Report == nil {
+		t.Fatal("report lost in round trip")
+	}
+	if g.Report.Subcarriers != 13 || g.Report.NTx != 3 || g.Report.NRx != 2 {
+		t.Fatalf("report dims = %dx%dx%d", g.Report.Subcarriers, g.Report.NTx, g.Report.NRx)
+	}
+	// The reconstructed grouped matrix must correlate strongly with the
+	// original at the reported subcarriers.
+	rec := g.Report.Matrix()
+	var dot complex128
+	var na, nb float64
+	for sc := 0; sc < int(g.Report.Subcarriers); sc++ {
+		for tx := 0; tx < 3; tx++ {
+			for rx := 0; rx < 2; rx++ {
+				a := m.At(sc*4, tx, rx)
+				b := rec.At(sc, tx, rx)
+				dot += a * cmplx.Conj(b)
+				na += real(a)*real(a) + imag(a)*imag(a)
+				nb += real(b)*real(b) + imag(b)*imag(b)
+			}
+		}
+	}
+	rho := cmplx.Abs(dot) / (sqrt(na) * sqrt(nb))
+	if rho < 0.999 {
+		t.Fatalf("8-bit report correlation = %v", rho)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	v := x
+	for i := 0; i < 40; i++ {
+		v = (v + x/v) / 2
+	}
+	return v
+}
+
+func TestCSIReportSizeMatchesAirtimeModel(t *testing.T) {
+	m := randomCSI(stats.NewRNG(2))
+	rep, err := NewCSIReport(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 grouped subcarriers x 3x2 x 2 components = 156 bytes + header.
+	if len(b) != csiReportFixedLen+156 {
+		t.Fatalf("report = %d bytes", len(b))
+	}
+}
+
+func TestCSIReportValidation(t *testing.T) {
+	if _, err := NewCSIReport(nil, 4); err == nil {
+		t.Fatal("nil matrix should fail")
+	}
+	rep := &CSIReport{Subcarriers: 2, NTx: 1, NRx: 1, Q: []int8{1, 2}} // wants 4
+	if _, err := rep.marshal(); err == nil {
+		t.Fatal("mismatched Q length should fail")
+	}
+	// Truncated report body on the wire.
+	f := &Action{Hdr: hdr(0), Category: CategoryHT, Code: ActionCSIReport,
+		Report: &CSIReport{Subcarriers: 1, NTx: 1, NRx: 1, Scale: 1, Q: []int8{1, 2}}}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated CSI report should fail to decode")
+	}
+}
+
+func TestActionRawRoundTrip(t *testing.T) {
+	f := &Action{Hdr: hdr(6), Category: 5, Code: 2, Raw: []byte{9, 8, 7}}
+	g := roundTrip(t, f).(*Action)
+	if g.Category != 5 || g.Code != 2 || len(g.Raw) != 3 {
+		t.Fatalf("decoded = %+v", g)
+	}
+}
+
+func TestZeroCSIReport(t *testing.T) {
+	m := csi.NewMatrix(4, 1, 1)
+	rep, err := NewCSIReport(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := rep.Matrix()
+	if rec.AvgPower() != 0 {
+		t.Fatal("zero matrix should reconstruct as zero")
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	// Decoder robustness: arbitrary byte soup must produce an error or a
+	// frame, never a panic or an out-of-bounds read.
+	rng := stats.NewRNG(0xf022)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Decode panicked: %v", r)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(80)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		f, err := Decode(b)
+		if err == nil && f == nil {
+			t.Fatal("nil frame without error")
+		}
+	}
+}
+
+func TestDecodeNeverPanicsOnCorruptedValidFrames(t *testing.T) {
+	// Take valid frames and flip/truncate bytes.
+	rng := stats.NewRNG(77)
+	frames := []Frame{
+		&QoSData{Hdr: hdr(1), TID: 3, Payload: []byte("payload bytes here")},
+		&BlockAck{Hdr: hdr(2), StartSeq: 9, Bitmap: 0xDEADBEEF},
+		&ProbeResponse{Hdr: hdr(3), SSID: "net", RSSIdBm: -60},
+	}
+	m := csiStubMatrix()
+	rep, err := NewCSIReport(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames = append(frames, &Action{Hdr: hdr(4), Category: CategoryHT, Code: ActionCSIReport, Report: rep})
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Decode panicked on corrupted frame: %v", r)
+		}
+	}()
+	for _, f := range frames {
+		b, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 500; trial++ {
+			c := make([]byte, len(b))
+			copy(c, b)
+			// Random truncation and bit flips.
+			if rng.Bool(0.5) && len(c) > 1 {
+				c = c[:rng.Intn(len(c))]
+			}
+			for k := 0; k < 3; k++ {
+				if len(c) > 0 {
+					c[rng.Intn(len(c))] ^= byte(1 << uint(rng.Intn(8)))
+				}
+			}
+			_, _ = Decode(c)
+		}
+	}
+}
+
+func csiStubMatrix() *csi.Matrix {
+	m := csi.NewMatrix(52, 3, 2)
+	rng := stats.NewRNG(5)
+	for sc := 0; sc < 52; sc++ {
+		for tx := 0; tx < 3; tx++ {
+			for rx := 0; rx < 2; rx++ {
+				m.Set(sc, tx, rx, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+	}
+	return m
+}

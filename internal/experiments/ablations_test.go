@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationOracle(t *testing.T) {
+	r := AblationOracle(quickCfg())
+	if !strings.Contains(r.Text, "oracle") {
+		t.Fatalf("text:\n%s", r.Text)
+	}
+	if len(r.Notes) == 0 {
+		t.Fatal("missing note")
+	}
+}
+
+func TestAblationThresholds(t *testing.T) {
+	r := AblationThresholds(Config{Seed: 7, Scale: 0.25})
+	if len(r.Series) != 6 {
+		t.Fatalf("want 6 threshold pairs, got %d", len(r.Series))
+	}
+	// The paper's choice should be at or near the best.
+	best, paperChoice := 0.0, 0.0
+	for _, s := range r.Series {
+		v := s.Points[0].Y
+		if v > best {
+			best = v
+		}
+		if s.Name == "sta=0.980 env=0.70" {
+			paperChoice = v
+		}
+	}
+	if paperChoice < best-12 {
+		t.Errorf("paper thresholds (%.1f%%) far from best (%.1f%%)", paperChoice, best)
+	}
+}
+
+func TestAblation80211r(t *testing.T) {
+	r := Ablation80211r(Config{Seed: 7, Scale: 0.25})
+	if !strings.Contains(r.Text, "802.11r") {
+		t.Fatalf("text:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Notes[0], "outage") {
+		t.Fatal("missing outage note")
+	}
+}
+
+func TestAblationWidth(t *testing.T) {
+	r := AblationWidth(Config{Seed: 7, Scale: 0.25})
+	if !strings.Contains(r.Text, "40 MHz") || !strings.Contains(r.Text, "20 MHz") {
+		t.Fatalf("text:\n%s", r.Text)
+	}
+}
+
+func TestAblationQuantization(t *testing.T) {
+	r := AblationQuantization(Config{Seed: 7, Scale: 0.3})
+	s := seriesByName(t, r, "throughput")
+	if len(s.Points) != 5 {
+		t.Fatalf("want 5 bit settings, got %d", len(s.Points))
+	}
+	// 8-bit feedback should be at least as good as 2-bit.
+	if lastY(s) < firstY(s)*0.95 {
+		t.Errorf("8-bit (%.1f) should not trail 2-bit (%.1f)", lastY(s), firstY(s))
+	}
+}
+
+func TestAblationOrbit(t *testing.T) {
+	r := AblationOrbit(Config{Seed: 7, Scale: 0.3})
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "AoA") {
+		t.Fatal("missing AoA note")
+	}
+	// Parse the two percentages from the note via the series-free text:
+	// base should be low, extended clearly higher.
+	if !strings.Contains(r.Text, "base classifier") {
+		t.Fatalf("text:\n%s", r.Text)
+	}
+}
+
+func TestAblationSched(t *testing.T) {
+	r := AblationSched(Config{Seed: 7, Scale: 0.3})
+	if !strings.Contains(r.Text, "mobility-aware") || !strings.Contains(r.Text, "Jain") {
+		t.Fatalf("text:\n%s", r.Text)
+	}
+	if len(r.Notes) == 0 {
+		t.Fatal("missing note")
+	}
+}

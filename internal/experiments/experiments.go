@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a pure function of a Config (seed +
+// scale): it builds the workload, runs the relevant modules, and returns a
+// Result with named data series and a rendered text table. cmd/figures
+// prints them; the package tests assert the qualitative shapes the paper
+// reports (orderings, crossovers, monotonicity).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mobiwlan/internal/stats"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Scale multiplies repetition counts and durations; 1.0 reproduces
+	// the published defaults, smaller values give quick smoke runs.
+	Scale float64
+}
+
+// DefaultConfig is the configuration cmd/figures uses.
+func DefaultConfig() Config { return Config{Seed: 2014, Scale: 1} }
+
+// scaleInt scales a repetition count, keeping at least min.
+func (c Config) scaleInt(n, min int) int {
+	v := int(float64(n) * c.scale())
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// scaleDur scales a duration, keeping at least min seconds.
+func (c Config) scaleDur(d, min float64) float64 {
+	v := d * c.scale()
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// rng returns the experiment's root RNG.
+func (c Config) rng(label uint64) *stats.RNG {
+	return stats.NewRNG(c.Seed).Split(label)
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the paper's identifier, e.g. "fig2b" or "table1".
+	ID string
+	// Title describes the content.
+	Title string
+	// XLabel names the x axis of the series.
+	XLabel string
+	// Series holds the figure's named curves.
+	Series []stats.Series
+	// Text is the rendered table (always present).
+	Text string
+	// Notes records interpretation decisions and the headline numbers.
+	Notes []string
+}
+
+// Runner is an experiment entry point.
+type Runner func(Config) Result
+
+// registry of all experiments by ID.
+var registry = map[string]Runner{}
+var registryOrder []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// IDs returns all experiment IDs in registration (paper) order.
+func IDs() []string {
+	out := make([]string, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config) []Result {
+	out := make([]Result, 0, len(registryOrder))
+	for _, id := range registryOrder {
+		out = append(out, registry[id](cfg))
+	}
+	return out
+}
+
+// renderSeries formats the series block of a result.
+func renderSeries(title, xLabel string, series []stats.Series) string {
+	return stats.RenderTable(title, xLabel, series)
+}
+
+// renderKV renders simple name/value rows.
+func renderKV(title string, rows [][2]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	width := 0
+	for _, r := range rows {
+		if len(r[0]) > width {
+			width = len(r[0])
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, r[0], r[1])
+	}
+	return b.String()
+}
+
+// medianOf returns the median of a map's values by sorted key order —
+// helper for deterministic notes.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

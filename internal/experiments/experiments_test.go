@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mobiwlan/internal/stats"
+)
+
+// quickCfg keeps test runtime reasonable while preserving shapes.
+func quickCfg() Config { return Config{Seed: 99, Scale: 0.35} }
+
+func seriesByName(t *testing.T, r Result, name string) stats.Series {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("%s: series %q not found (have %v)", r.ID, name, seriesNames(r))
+	return stats.Series{}
+}
+
+func seriesNames(r Result) []string {
+	var out []string
+	for _, s := range r.Series {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// medianX returns the x value where the CDF series crosses 0.5.
+func medianX(s stats.Series) float64 {
+	for _, p := range s.Points {
+		if p.Y >= 0.5 {
+			return p.X
+		}
+	}
+	if len(s.Points) > 0 {
+		return s.Points[len(s.Points)-1].X
+	}
+	return 0
+}
+
+func lastY(s stats.Series) float64  { return s.Points[len(s.Points)-1].Y }
+func firstY(s stats.Series) float64 { return s.Points[0].Y }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2a", "fig2b", "fig2c", "fig4", "table1", "fig6a", "fig6b",
+		"fig7a", "fig7b", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b",
+		"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
+		"fig13", "table2",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if _, ok := Get("fig1"); !ok {
+		t.Error("Get(fig1) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) should fail")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := Figure1(quickCfg())
+	if len(r.Series) != 4 || r.Text == "" {
+		t.Fatalf("bad result: %d series", len(r.Series))
+	}
+	// Static RSSI must be the most stable (its CDF median leftmost).
+	staticMed := medianX(seriesByName(t, r, "static"))
+	for _, name := range []string{"environmental", "micro", "macro"} {
+		if m := medianX(seriesByName(t, r, name)); m <= staticMed {
+			t.Errorf("static stddev median (%.2f) should be below %s (%.2f)", staticMed, name, m)
+		}
+	}
+}
+
+func TestFigure2aShape(t *testing.T) {
+	r := Figure2a(quickCfg())
+	if len(r.Series) != 5 {
+		t.Fatalf("want 5 curves, got %v", seriesNames(r))
+	}
+	// Static similarity stays high across the whole trace.
+	for _, p := range seriesByName(t, r, "static").Points {
+		if p.Y < 0.95 {
+			t.Fatalf("static similarity dipped to %.3f at t=%.1f", p.Y, p.X)
+		}
+	}
+}
+
+func TestFigure2bShape(t *testing.T) {
+	r := Figure2b(quickCfg())
+	med := func(name string) float64 {
+		// Use the notes-backed medians via series: recompute from CDF.
+		return medianX(seriesByName(t, r, name))
+	}
+	if med("static") < 0.98 {
+		t.Errorf("static median similarity %.3f, want > ThrSta", med("static"))
+	}
+	if med("micro") > 0.7 || med("macro") > 0.7 {
+		t.Errorf("device mobility medians (%.3f / %.3f) should be < ThrEnv", med("micro"), med("macro"))
+	}
+	if !(med("env-strong") < med("env-weak")) {
+		t.Errorf("strong environmental (%.3f) should sit below weak (%.3f)",
+			med("env-strong"), med("env-weak"))
+	}
+	if med("env-weak") >= med("static") {
+		t.Errorf("env-weak (%.3f) should sit below static (%.3f)", med("env-weak"), med("static"))
+	}
+}
+
+func TestFigure2cShape(t *testing.T) {
+	r := Figure2c(quickCfg())
+	if len(r.Series) != 6 {
+		t.Fatalf("want 6 curves, got %v", seriesNames(r))
+	}
+	// Micro and macro overlap heavily at every period: medians within 0.4.
+	for _, tau := range []string{"50ms", "100ms", "250ms"} {
+		mi := medianX(seriesByName(t, r, "micro@"+tau))
+		ma := medianX(seriesByName(t, r, "macro@"+tau))
+		if diff := mi - ma; diff < -0.45 || diff > 0.45 {
+			t.Errorf("micro/macro medians at %s too far apart: %.3f vs %.3f", tau, mi, ma)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r := Figure4(quickCfg())
+	micro := seriesByName(t, r, "micro")
+	macro := seriesByName(t, r, "macro")
+	// Micro ToF stays within a small band; macro travels far.
+	microYs := make([]float64, len(micro.Points))
+	for i, p := range micro.Points {
+		microYs[i] = p.Y
+	}
+	macroYs := make([]float64, len(macro.Points))
+	for i, p := range macro.Points {
+		macroYs[i] = p.Y
+	}
+	microRange := stats.Max(microYs) - stats.Min(microYs)
+	macroRange := stats.Max(macroYs) - stats.Min(macroYs)
+	if macroRange < 3*microRange {
+		t.Errorf("macro ToF range (%.1f cycles) should dwarf micro (%.1f)", macroRange, microRange)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1(quickCfg())
+	if !strings.Contains(r.Text, "static") || !strings.Contains(r.Text, "%") {
+		t.Fatalf("confusion matrix text malformed:\n%s", r.Text)
+	}
+	if len(r.Notes) == 0 {
+		t.Fatal("missing accuracy note")
+	}
+}
+
+func TestFigure6aShape(t *testing.T) {
+	r := Figure6a(quickCfg())
+	acc := seriesByName(t, r, "accuracy%")
+	// Paper: accuracy is low for very short sampling periods. Compare the
+	// 10 ms point against the 50 ms point.
+	if firstY(acc) >= acc.Points[2].Y {
+		t.Errorf("accuracy at 10 ms (%.1f%%) should trail 50 ms (%.1f%%)", firstY(acc), acc.Points[2].Y)
+	}
+	for _, p := range seriesByName(t, r, "false-positives%").Points {
+		if p.Y > 30 {
+			t.Errorf("false positives %.1f%% at %v ms too high", p.Y, p.X)
+		}
+	}
+}
+
+func TestFigure6bShape(t *testing.T) {
+	r := Figure6b(quickCfg())
+	fp := seriesByName(t, r, "false-positives%")
+	if firstY(fp) <= lastY(fp) {
+		t.Errorf("false positives should fall with window size: %.1f%% -> %.1f%%", firstY(fp), lastY(fp))
+	}
+	acc := seriesByName(t, r, "accuracy%")
+	if lastY(acc) < 50 {
+		t.Errorf("macro accuracy at the largest window = %.1f%%", lastY(acc))
+	}
+}

@@ -1,0 +1,86 @@
+package phy
+
+// Timing collects the 802.11n MAC/PHY timing constants used for airtime
+// accounting. All durations are in seconds.
+type Timing struct {
+	// SIFS is the short interframe space.
+	SIFS float64
+	// DIFS is the DCF interframe space.
+	DIFS float64
+	// Slot is the backoff slot time.
+	Slot float64
+	// PLCPPreamble is the HT-mixed-format preamble + PLCP header duration.
+	PLCPPreamble float64
+	// BlockAck is the Block ACK frame duration at the basic rate.
+	BlockAck float64
+	// AvgBackoff is the mean DCF backoff (CWmin/2 slots), charged per
+	// transmit opportunity on an uncontended link.
+	AvgBackoff float64
+}
+
+// DefaultTiming returns 802.11n (5 GHz) timing.
+func DefaultTiming() Timing {
+	return Timing{
+		SIFS:         16e-6,
+		DIFS:         34e-6,
+		Slot:         9e-6,
+		PLCPPreamble: 36e-6,
+		BlockAck:     32e-6,
+		AvgBackoff:   7.5 * 9e-6, // CWmin=15 -> mean 7.5 slots
+	}
+}
+
+// MPDUOverheadBytes is the MAC framing overhead per aggregated MPDU:
+// MAC header (26 B QoS data) + FCS (4 B) + A-MPDU delimiter (4 B) +
+// worst-case padding (2 B averaged).
+const MPDUOverheadBytes = 36
+
+// PayloadDuration returns the time to transmit payloadBytes of MAC-layer
+// data (including per-MPDU overhead for nMPDUs subframes) at the MCS.
+func PayloadDuration(m MCS, w ChannelWidth, sgi bool, payloadBytes, nMPDUs int) float64 {
+	totalBytes := payloadBytes + nMPDUs*MPDUOverheadBytes
+	rateMbps := m.RateMbps(w, sgi)
+	if rateMbps <= 0 {
+		return 0
+	}
+	return float64(totalBytes*8) / (rateMbps * 1e6)
+}
+
+// ExchangeAirtime returns the full duration of one A-MPDU transmit
+// opportunity: backoff + DIFS + preamble + payload + SIFS + Block ACK.
+func ExchangeAirtime(t Timing, m MCS, w ChannelWidth, sgi bool, payloadBytes, nMPDUs int) float64 {
+	return t.AvgBackoff + t.DIFS + t.PLCPPreamble +
+		PayloadDuration(m, w, sgi, payloadBytes, nMPDUs) +
+		t.SIFS + t.BlockAck
+}
+
+// MPDUsForAggregationTime returns how many MPDUs of mpduBytes fit within
+// the aggregation time limit at the MCS — the paper's "Aggregation size =
+// Maximum allowed aggregation time / Bit-rate" (§5.1), capped by the
+// 802.11n 64-MPDU Block ACK window.
+func MPDUsForAggregationTime(m MCS, w ChannelWidth, sgi bool, aggTime float64, mpduBytes int) int {
+	perMPDU := PayloadDuration(m, w, sgi, mpduBytes, 1)
+	if perMPDU <= 0 {
+		return 1
+	}
+	n := int(aggTime / perMPDU)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// FeedbackAirtime returns the airtime cost of one explicit CSI feedback
+// exchange: the AP's NDP announcement + NDP sounding, then the client's
+// compressed feedback report of reportBits transmitted at the lowest rate
+// (feedback frames are sent at a robust basic rate, which is what makes
+// frequent sounding expensive — paper §6).
+func FeedbackAirtime(t Timing, reportBits int) float64 {
+	const basicRateMbps = 24 // robust low MCS used for action frames
+	ndp := t.DIFS + 2*t.PLCPPreamble + t.SIFS
+	report := t.PLCPPreamble + float64(reportBits)/(basicRateMbps*1e6) + t.SIFS
+	return ndp + report
+}

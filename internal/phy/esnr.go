@@ -1,0 +1,85 @@
+package phy
+
+import (
+	"math"
+
+	"mobiwlan/internal/csi"
+)
+
+// EffectiveSNRdB compresses a frequency-selective channel into the single
+// SNR of the equivalent flat channel, using the capacity mapping: the
+// per-subcarrier SNRs are converted to Shannon capacities, averaged, and
+// mapped back. This is the ESNR idea of Halperin et al. (paper ref. [9]),
+// which both the ESNR rate-control baseline and the MAC error model use.
+//
+// h is the channel snapshot; wideSNRdB is the wideband SNR the radio would
+// report for this snapshot (RSSI minus noise floor). The per-subcarrier
+// SNRs are wideSNR scaled by each subcarrier's gain relative to the
+// average gain.
+func EffectiveSNRdB(h *csi.Matrix, wideSNRdB float64) float64 {
+	avg := h.AvgPower()
+	if avg <= 0 {
+		return -40
+	}
+	wide := math.Pow(10, wideSNRdB/10)
+	var capSum float64
+	n := h.Subcarriers
+	for sc := 0; sc < n; sc++ {
+		snr := wide * h.SubcarrierPower(sc) / avg
+		capSum += math.Log2(1 + snr)
+	}
+	eff := math.Pow(2, capSum/float64(n)) - 1
+	if eff < 1e-4 {
+		eff = 1e-4
+	}
+	return 10 * math.Log10(eff)
+}
+
+// BeamformedSNRdB returns the received SNR when the AP transmit-beamforms
+// toward a client using maximum-ratio transmission computed from the
+// (possibly stale) estimate est, while the true channel is h. Both are
+// evaluated on receive antenna 0, per subcarrier, then capacity-averaged.
+//
+// With a fresh estimate the array gain approaches 10*log10(NTx) over the
+// single-antenna baseline; with a stale estimate the beam points the wrong
+// way and the gain (and effective SNR) collapses.
+func BeamformedSNRdB(h, est *csi.Matrix, wideSNRdB float64) float64 {
+	if h == nil || est == nil || !h.SameShape(est) {
+		return -40
+	}
+	avg := h.AvgPower()
+	if avg <= 0 {
+		return -40
+	}
+	wide := math.Pow(10, wideSNRdB/10)
+	var capSum float64
+	n := h.Subcarriers
+	for sc := 0; sc < n; sc++ {
+		// MRT weights from the estimate, applied to the true channel.
+		var num complex128
+		var wNorm, hPow float64
+		for tx := 0; tx < h.NTx; tx++ {
+			e := est.At(sc, tx, 0)
+			wNorm += real(e)*real(e) + imag(e)*imag(e)
+			tr := h.At(sc, tx, 0)
+			hPow += real(tr)*real(tr) + imag(tr)*imag(tr)
+			// w = conj(e)/|e_vec|; received amplitude = sum h*w.
+			num += tr * complex(real(e), -imag(e))
+		}
+		_ = hPow
+		var gain float64
+		if wNorm > 0 {
+			re, im := real(num), imag(num)
+			gain = (re*re + im*im) / wNorm
+		}
+		// Per-subcarrier SNR relative to the single-antenna average power:
+		// the beamforming gain replaces the per-antenna channel power.
+		snr := wide * gain / avg
+		capSum += math.Log2(1 + snr)
+	}
+	eff := math.Pow(2, capSum/float64(n)) - 1
+	if eff < 1e-4 {
+		eff = 1e-4
+	}
+	return 10 * math.Log10(eff)
+}

@@ -1,0 +1,172 @@
+// Package phy models the 802.11n high-throughput PHY as needed by the
+// paper's four protocols: the HT MCS table (MCS 0-23, one to three spatial
+// streams), an abstracted coded-BER error model mapping SNR to packet error
+// rate, capacity-based effective SNR over a CSI snapshot, the stale-estimate
+// SINR penalty that governs frame aggregation and beamforming staleness,
+// and airtime accounting for A-MPDU frame exchanges.
+package phy
+
+import "fmt"
+
+// ChannelWidth is the 802.11n channel bandwidth.
+type ChannelWidth int
+
+const (
+	// Width20 is a 20 MHz channel (52 data subcarriers).
+	Width20 ChannelWidth = 20
+	// Width40 is a 40 MHz channel (108 data subcarriers), the paper's
+	// configuration.
+	Width40 ChannelWidth = 40
+)
+
+// DataSubcarriers returns the number of data subcarriers for the width.
+func (w ChannelWidth) DataSubcarriers() int {
+	if w == Width40 {
+		return 108
+	}
+	return 52
+}
+
+// Modulation identifies the per-subcarrier constellation.
+type Modulation int
+
+const (
+	// BPSK carries 1 bit per subcarrier per symbol.
+	BPSK Modulation = iota
+	// QPSK carries 2 bits.
+	QPSK
+	// QAM16 carries 4 bits.
+	QAM16
+	// QAM64 carries 6 bits.
+	QAM64
+)
+
+// String implements fmt.Stringer.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	default:
+		return fmt.Sprintf("modulation(%d)", int(m))
+	}
+}
+
+// BitsPerSymbol returns coded bits per subcarrier per OFDM symbol.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	default:
+		return 1
+	}
+}
+
+// MCS is one 802.11n modulation-and-coding scheme.
+type MCS struct {
+	// Index is the standard HT MCS index (0-23).
+	Index int
+	// Streams is the number of spatial streams (1-3).
+	Streams int
+	// Mod is the constellation.
+	Mod Modulation
+	// CodeRateNum/CodeRateDen give the convolutional code rate.
+	CodeRateNum, CodeRateDen int
+}
+
+// CodeRate returns the code rate as a float.
+func (m MCS) CodeRate() float64 {
+	return float64(m.CodeRateNum) / float64(m.CodeRateDen)
+}
+
+// String implements fmt.Stringer.
+func (m MCS) String() string {
+	return fmt.Sprintf("MCS%d(%dss %s %d/%d)",
+		m.Index, m.Streams, m.Mod, m.CodeRateNum, m.CodeRateDen)
+}
+
+// RateMbps returns the PHY data rate in Mb/s for the given channel width
+// and guard interval (sgi selects the 400 ns short guard interval).
+func (m MCS) RateMbps(w ChannelWidth, sgi bool) float64 {
+	symbolUs := 4.0 // 3.2 us FFT + 0.8 us GI
+	if sgi {
+		symbolUs = 3.6
+	}
+	bitsPerSymbol := float64(m.Streams*m.Mod.BitsPerSymbol()*w.DataSubcarriers()) * m.CodeRate()
+	return bitsPerSymbol / symbolUs
+}
+
+// baseMCS lists the 8 single-stream schemes; multi-stream MCS repeat them.
+var baseMCS = []struct {
+	mod      Modulation
+	num, den int
+}{
+	{BPSK, 1, 2},
+	{QPSK, 1, 2},
+	{QPSK, 3, 4},
+	{QAM16, 1, 2},
+	{QAM16, 3, 4},
+	{QAM64, 2, 3},
+	{QAM64, 3, 4},
+	{QAM64, 5, 6},
+}
+
+// Table is the full HT MCS table for 1-3 spatial streams (MCS 0-23).
+var Table = buildTable()
+
+func buildTable() []MCS {
+	out := make([]MCS, 0, 24)
+	for ss := 1; ss <= 3; ss++ {
+		for i, b := range baseMCS {
+			out = append(out, MCS{
+				Index:       (ss-1)*8 + i,
+				Streams:     ss,
+				Mod:         b.mod,
+				CodeRateNum: b.num,
+				CodeRateDen: b.den,
+			})
+		}
+	}
+	return out
+}
+
+// ByIndex returns the MCS with the given index. It panics for indexes
+// outside 0-23.
+func ByIndex(i int) MCS {
+	if i < 0 || i >= len(Table) {
+		panic(fmt.Sprintf("phy: MCS index %d out of range", i))
+	}
+	return Table[i]
+}
+
+// MaxStreams limits an MCS list to schemes a link can support: the usable
+// stream count is min(txAntennas, rxAntennas).
+func MaxStreams(txAntennas, rxAntennas int) int {
+	if txAntennas < rxAntennas {
+		return txAntennas
+	}
+	return rxAntennas
+}
+
+// Usable returns the MCS entries whose stream count the link supports,
+// in index order.
+func Usable(maxStreams int) []MCS {
+	var out []MCS
+	for _, m := range Table {
+		if m.Streams <= maxStreams {
+			out = append(out, m)
+		}
+	}
+	return out
+}

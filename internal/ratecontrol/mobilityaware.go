@@ -1,0 +1,67 @@
+package ratecontrol
+
+import (
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/mac"
+	"mobiwlan/internal/phy"
+)
+
+// Table2 holds the paper's per-mobility-state protocol parameters
+// (paper Table 2, rate-adaptation rows). The scanned copy of the paper
+// lost leading digits in several cells; the values here follow the paper's
+// stated design rules — long PER history when static, short under
+// mobility, no retries when moving away, aggressive probing when moving
+// towards — and are recorded in EXPERIMENTS.md.
+var Table2 = map[core.State]AtherosParams{
+	core.StateStatic:        {Alpha: 1.0 / 16, RateRetries: 2, ProbeInterval: 0.5},
+	core.StateEnvironmental: {Alpha: 1.0 / 12, RateRetries: 2, ProbeInterval: 0.5},
+	core.StateMicro:         {Alpha: 1.0 / 4, RateRetries: 1, ProbeInterval: 0.1},
+	core.StateMacroAway:     {Alpha: 1.0 / 3, RateRetries: 0, ProbeInterval: 1.0},
+	core.StateMacroToward:   {Alpha: 1.0 / 3, RateRetries: 2, ProbeInterval: 0.02},
+	core.StateUnknown:       {Alpha: 1.0 / 8, RateRetries: 0, ProbeInterval: 0.1},
+	// Orbital macro-mobility (AoA extension): fast channel, flat path
+	// loss — short history, moderate probing.
+	core.StateMacroOrbit: {Alpha: 1.0 / 3, RateRetries: 1, ProbeInterval: 0.1},
+}
+
+// MobilityAware augments the Atheros algorithm with the classifier's
+// mobility state (paper §4.2): each state switches the three Table 2 knobs.
+type MobilityAware struct {
+	inner *Atheros
+	state core.State
+}
+
+// NewMobilityAware wraps a fresh Atheros instance for the link.
+func NewMobilityAware(lc LinkConfig) *MobilityAware {
+	m := &MobilityAware{inner: NewAtheros(lc), state: core.StateUnknown}
+	m.inner.SetParams(Table2[core.StateUnknown])
+	return m
+}
+
+// Name implements Adapter.
+func (m *MobilityAware) Name() string { return "motion-aware-atheros" }
+
+// SetState implements StateAware: the AP pushes classifier updates here.
+func (m *MobilityAware) SetState(s core.State) {
+	if s == m.state {
+		return
+	}
+	m.state = s
+	if p, ok := Table2[s]; ok {
+		m.inner.SetParams(p)
+	}
+}
+
+// State returns the currently applied mobility state.
+func (m *MobilityAware) State() core.State { return m.state }
+
+// SelectRate implements Adapter.
+func (m *MobilityAware) SelectRate(t float64) phy.MCS { return m.inner.SelectRate(t) }
+
+// OnResult implements Adapter.
+func (m *MobilityAware) OnResult(t float64, res mac.FrameResult) {
+	m.inner.OnResult(t, res)
+}
+
+// Inner exposes the wrapped Atheros state for inspection in tests.
+func (m *MobilityAware) Inner() *Atheros { return m.inner }

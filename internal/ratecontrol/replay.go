@@ -1,0 +1,69 @@
+package ratecontrol
+
+import (
+	"mobiwlan/internal/mac"
+	"mobiwlan/internal/phy"
+	"mobiwlan/internal/stats"
+	"mobiwlan/internal/traceio"
+)
+
+// RunReplay drives a rate-control adapter against a recorded PHY trace —
+// the paper's §4.3 trace-based emulation: every scheme is evaluated
+// against *identical* channel conditions, which a live simulation cannot
+// guarantee once schemes diverge in timing. Frames of nMPDU subframes are
+// transmitted back-to-back; each subframe's delivery is drawn from the PER
+// at the trace's effective SNR for the frame's start time. Loss draws are
+// deterministic in (seed, frame index, subframe index), so two adapters
+// choosing the same rate at the same time see the same losses.
+func RunReplay(rp *traceio.Replay, ad Adapter, lc LinkConfig, nMPDU int, duration float64, seed uint64) RunResult {
+	if nMPDU < 1 {
+		nMPDU = 1
+	}
+	timing := phy.DefaultTiming()
+	var res RunResult
+	var bits, mcsWeighted float64
+	t := 0.0
+	frameIdx := uint64(0)
+	for t < duration {
+		m := ad.SelectRate(t)
+		rec := rp.At(t)
+		csiMat, err := rec.Matrix()
+		effSNR := rec.SNRdB
+		if err == nil && csiMat != nil {
+			effSNR = phy.EffectiveSNRdB(csiMat, rec.SNRdB)
+		}
+		per := phy.PER(m, effSNR, lc.MPDUBytes)
+		delivered := 0
+		for k := 0; k < nMPDU; k++ {
+			// Deterministic per-(frame,subframe) draw shared across
+			// adapters.
+			draw := stats.NewRNG(seed).Split(frameIdx<<16 | uint64(k)).Float64()
+			if draw >= per {
+				delivered++
+			}
+		}
+		air := phy.ExchangeAirtime(timing, m, lc.Width, lc.SGI, nMPDU*lc.MPDUBytes, nMPDU)
+		fr := mac.FrameResult{
+			Start:     t,
+			MCS:       m,
+			NMPDU:     nMPDU,
+			Delivered: delivered,
+			Airtime:   air,
+			BlockAck:  delivered > 0,
+			EffSNRdB:  effSNR,
+			CSI:       csiMat,
+		}
+		ad.OnResult(t+air, fr)
+		bits += fr.Goodput(lc.MPDUBytes)
+		mcsWeighted += float64(m.Index) * air
+		res.Frames++
+		res.DeliveredMPDUs += delivered
+		t += air
+		frameIdx++
+	}
+	if t > 0 {
+		res.Mbps = bits / t / 1e6
+		res.AvgMCSIndex = mcsWeighted / t
+	}
+	return res
+}

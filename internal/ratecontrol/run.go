@@ -1,0 +1,64 @@
+package ratecontrol
+
+import (
+	"mobiwlan/internal/mac"
+	"mobiwlan/internal/phy"
+)
+
+// AggregationFunc decides how many MPDUs to aggregate for a frame sent at
+// time t at the given MCS. The default policy fills a 4 ms aggregation
+// time limit (the stock Atheros configuration, paper §5).
+type AggregationFunc func(t float64, m phy.MCS) int
+
+// DefaultAggregation returns the stock fixed-4 ms policy for a link.
+func DefaultAggregation(lc LinkConfig) AggregationFunc {
+	return func(t float64, m phy.MCS) int {
+		return phy.MPDUsForAggregationTime(m, lc.Width, lc.SGI, 4e-3, lc.MPDUBytes)
+	}
+}
+
+// RunResult summarizes a saturated-download run.
+type RunResult struct {
+	// Mbps is the achieved MAC goodput.
+	Mbps float64
+	// Frames is the number of transmit opportunities used.
+	Frames int
+	// DeliveredMPDUs counts acknowledged subframes.
+	DeliveredMPDUs int
+	// AvgMCSIndex is the airtime-weighted mean MCS index used.
+	AvgMCSIndex float64
+}
+
+// Run drives the adapter over the link with saturated download traffic for
+// duration seconds. agg may be nil (stock 4 ms aggregation). onFrame, if
+// non-nil, runs before every frame — the hook the simulator uses to push
+// classifier state into StateAware adapters.
+func Run(link *mac.Link, ad Adapter, agg AggregationFunc, duration float64, onFrame func(t float64)) RunResult {
+	lc := LinkConfig{Width: link.Width, SGI: link.SGI, MPDUBytes: link.MPDUBytes, MaxStreams: link.MaxStreams()}
+	if agg == nil {
+		agg = DefaultAggregation(lc)
+	}
+	var res RunResult
+	var bits float64
+	var mcsWeighted float64
+	t := 0.0
+	for t < duration {
+		if onFrame != nil {
+			onFrame(t)
+		}
+		m := ad.SelectRate(t)
+		n := agg(t, m)
+		fr := link.Transmit(t, m, n)
+		ad.OnResult(t+fr.Airtime, fr)
+		bits += fr.Goodput(link.MPDUBytes)
+		mcsWeighted += float64(m.Index) * fr.Airtime
+		res.Frames++
+		res.DeliveredMPDUs += fr.Delivered
+		t += fr.Airtime
+	}
+	if t > 0 {
+		res.Mbps = bits / t / 1e6
+		res.AvgMCSIndex = mcsWeighted / t
+	}
+	return res
+}

@@ -1,0 +1,223 @@
+package roaming
+
+import (
+	"testing"
+
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+)
+
+func TestDefaultPlan(t *testing.T) {
+	p := DefaultPlan()
+	if len(p.APs) != 6 {
+		t.Fatalf("plan has %d APs, want 6", len(p.APs))
+	}
+	bounds := mobility.DefaultSceneConfig().Bounds
+	for i, ap := range p.APs {
+		if !bounds.Contains(ap) {
+			t.Fatalf("AP %d outside the floor: %v", i, ap)
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if argmax([]float64{-80, -60, -70}) != 1 {
+		t.Fatal("argmax misbehaves")
+	}
+}
+
+func TestExpectedThroughputMonotone(t *testing.T) {
+	prev := -1.0
+	for snr := 0.0; snr <= 35; snr += 5 {
+		tput := ExpectedThroughput(snr, 2)
+		if tput < prev {
+			t.Fatalf("throughput decreased at %v dB", snr)
+		}
+		prev = tput
+	}
+	if ExpectedThroughput(30, 2) <= 0 {
+		t.Fatal("no throughput at 30 dB")
+	}
+}
+
+func TestDefault80211StaysWhenStrong(t *testing.T) {
+	d := NewDefault80211()
+	act := d.Decide(Observation{Cur: 0, CurRSSI: -50})
+	if act.StartScan || act.RoamTo >= 0 {
+		t.Fatal("strong RSSI should not trigger anything")
+	}
+}
+
+func TestDefault80211ScansAndRoamsWhenWeak(t *testing.T) {
+	d := NewDefault80211()
+	act := d.Decide(Observation{Cur: 0, CurRSSI: -80})
+	if !act.StartScan {
+		t.Fatal("weak RSSI should trigger a scan")
+	}
+	act = d.Decide(Observation{
+		Cur: 0, CurRSSI: -80, ScanValid: true,
+		ScanRSSI: []float64{-80, -55, -70},
+	})
+	if act.RoamTo != 1 {
+		t.Fatalf("RoamTo = %d, want 1 (strongest)", act.RoamTo)
+	}
+}
+
+func TestDefault80211StaysIfStrongest(t *testing.T) {
+	d := NewDefault80211()
+	d.Decide(Observation{Cur: 0, CurRSSI: -80})
+	act := d.Decide(Observation{
+		Cur: 0, CurRSSI: -80, ScanValid: true,
+		ScanRSSI: []float64{-80, -85, -90},
+	})
+	if act.RoamTo >= 0 {
+		t.Fatal("should stay when already on the strongest AP")
+	}
+}
+
+func TestSensorHintScansWhenMobile(t *testing.T) {
+	s := NewSensorHint()
+	act := s.Decide(Observation{T: 5, Cur: 0, CurRSSI: -50, State: core.StateMacroAway})
+	if !act.StartScan {
+		t.Fatal("mobile client should scan periodically")
+	}
+	// Immediately after: within the scan interval, no new scan.
+	s2 := NewSensorHint()
+	s2.Decide(Observation{T: 5, Cur: 0, CurRSSI: -50, State: core.StateMacroAway})
+	act = s2.Decide(Observation{T: 5.5, Cur: 0, CurRSSI: -50, State: core.StateMacroAway,
+		ScanValid: true, ScanRSSI: []float64{-50, -60}})
+	if act.StartScan {
+		t.Fatal("should not scan again within the interval")
+	}
+}
+
+func TestSensorHintStaticDoesNotScan(t *testing.T) {
+	s := NewSensorHint()
+	act := s.Decide(Observation{T: 100, Cur: 0, CurRSSI: -50, State: core.StateStatic})
+	if act.StartScan {
+		t.Fatal("static client should not scan")
+	}
+}
+
+func TestSensorHintHysteresis(t *testing.T) {
+	s := NewSensorHint()
+	s.Decide(Observation{T: 5, Cur: 0, CurRSSI: -60, State: core.StateMicro})
+	act := s.Decide(Observation{T: 5.1, Cur: 0, CurRSSI: -60, State: core.StateMicro,
+		ScanValid: true, ScanRSSI: []float64{-60, -58.5}})
+	if act.RoamTo >= 0 {
+		t.Fatal("1.5 dB advantage is within hysteresis; should stay")
+	}
+}
+
+func TestMobilityAwareRoamsOnlyWhenAwayWithCandidate(t *testing.T) {
+	m := NewMobilityAware()
+	obs := Observation{
+		T: 10, Cur: 0,
+		InfraRSSI:   []float64{-70, -68, -80},
+		Approaching: []bool{false, true, false},
+		State:       core.StateMacroAway,
+	}
+	act := m.Decide(obs)
+	if act.RoamTo != 1 {
+		t.Fatalf("RoamTo = %d, want 1", act.RoamTo)
+	}
+	// Static client: never roam, even with a better AP around.
+	m2 := NewMobilityAware()
+	obs.State = core.StateStatic
+	if act := m2.Decide(obs); act.RoamTo >= 0 {
+		t.Fatal("static client must not be roamed")
+	}
+	// Away but no approaching candidate: stay.
+	m3 := NewMobilityAware()
+	obs.State = core.StateMacroAway
+	obs.Approaching = []bool{false, false, false}
+	if act := m3.Decide(obs); act.RoamTo >= 0 {
+		t.Fatal("no candidate should mean no roam")
+	}
+	// Candidate approaching but much weaker: stay.
+	m4 := NewMobilityAware()
+	obs.Approaching = []bool{false, false, true}
+	if act := m4.Decide(obs); act.RoamTo >= 0 {
+		t.Fatal("weak candidate should not trigger a roam")
+	}
+}
+
+func TestMobilityAwareThrottled(t *testing.T) {
+	m := NewMobilityAware()
+	obs := Observation{
+		T: 10, Cur: 0,
+		InfraRSSI:   []float64{-70, -60},
+		Approaching: []bool{false, true},
+		State:       core.StateMacroAway,
+	}
+	if m.Decide(obs).RoamTo != 1 {
+		t.Fatal("first roam should fire")
+	}
+	obs.T = 11
+	if m.Decide(obs).RoamTo >= 0 {
+		t.Fatal("second roam within MinInterval should be suppressed")
+	}
+}
+
+// walkAcrossFloor builds a scenario walking from near AP0 toward AP2
+// (a long horizontal walk across the plan).
+func walkAcrossFloor(seed uint64, duration float64) *mobility.Scenario {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = duration
+	rng := stats.NewRNG(seed)
+	scen := mobility.NewScenario(mobility.Static, cfg, rng) // scatterer field
+	scen.Label = mobility.Macro
+	scen.Client = mobility.WaypointWalk{
+		Path:  geom.NewPath(geom.Pt(4, 7), geom.Pt(46, 7)),
+		Speed: 1.4,
+	}
+	return scen
+}
+
+func TestRunnerBasics(t *testing.T) {
+	r := NewRunner(DefaultPlan())
+	scen := walkAcrossFloor(1, 20)
+	res := r.Run(scen, NewDefault80211(), 7)
+	if res.Mbps <= 0 {
+		t.Fatal("no throughput")
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline")
+	}
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	r := NewRunner(DefaultPlan())
+	a := r.Run(walkAcrossFloor(2, 15), NewDefault80211(), 9)
+	b := r.Run(walkAcrossFloor(2, 15), NewDefault80211(), 9)
+	if a.Mbps != b.Mbps || a.Handoffs != b.Handoffs {
+		t.Fatalf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestMotionAwareRoamsDuringCrossFloorWalk(t *testing.T) {
+	// Walking 42 m across a 3-AP row must trigger at least one handoff
+	// under the motion-aware policy, and its throughput should beat the
+	// sticky default (which only roams below -75 dBm).
+	r := NewRunner(DefaultPlan())
+	var defMbps, awareMbps []float64
+	handoffs := 0
+	for seed := uint64(0); seed < 4; seed++ {
+		scen := walkAcrossFloor(seed*7+3, 30)
+		d := r.Run(scen, NewDefault80211(), seed+100)
+		a := r.Run(scen, NewMobilityAware(), seed+100)
+		defMbps = append(defMbps, d.Mbps)
+		awareMbps = append(awareMbps, a.Mbps)
+		handoffs += a.Handoffs
+	}
+	if handoffs == 0 {
+		t.Fatal("motion-aware policy never roamed on a cross-floor walk")
+	}
+	dm, am := stats.Mean(defMbps), stats.Mean(awareMbps)
+	t.Logf("cross-floor walk: default=%.1f Mbps motion-aware=%.1f Mbps (handoffs=%d)", dm, am, handoffs)
+	if am < dm {
+		t.Fatalf("motion-aware (%.1f) should beat sticky default (%.1f)", am, dm)
+	}
+}

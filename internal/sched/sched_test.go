@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"testing"
+
+	"mobiwlan/internal/aggregation"
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/mac"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/ratecontrol"
+	"mobiwlan/internal/sim"
+	"mobiwlan/internal/stats"
+)
+
+// trio builds the scheduler's canonical workload: one away-walker, one
+// toward-walker, one static client, all at a cell-edge power where channel
+// quality actually changes over the run.
+func trio(seed uint64, duration float64) []Client {
+	mk := func(i int, scen *mobility.Scenario) Client {
+		chCfg := channel.DefaultConfig()
+		chCfg.TxPowerDBm = 2
+		ch := channel.New(chCfg, scen, stats.NewRNG(seed+uint64(i)*31+5))
+		return Client{
+			Link:    mac.NewLink(ch, stats.NewRNG(seed+uint64(i)*31+9)),
+			Adapter: ratecontrol.NewAtheros(ratecontrol.DefaultLinkConfig()),
+			StateAt: sim.OracleStateFunc(scen),
+		}
+	}
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = duration
+	away := mobility.NewMacroScenario(mobility.HeadingAway, cfg, stats.NewRNG(seed+1))
+	toward := mobility.NewMacroScenario(mobility.HeadingToward, cfg, stats.NewRNG(seed+2))
+	static := mobility.NewScenario(mobility.Static, cfg, stats.NewRNG(seed+3))
+	return []Client{mk(0, away), mk(1, toward), mk(2, static)}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := &RoundRobin{}
+	views := make([]View, 3)
+	for i := range views {
+		views[i].Index = i
+	}
+	if rr.Pick(0, views) != 0 || rr.Pick(0, views) != 1 || rr.Pick(0, views) != 2 || rr.Pick(0, views) != 0 {
+		t.Fatal("round robin does not cycle")
+	}
+}
+
+func TestAirtimeFairPicksSmallestShare(t *testing.T) {
+	views := []View{
+		{Index: 0, AirtimeShare: 0.5},
+		{Index: 1, AirtimeShare: 0.2},
+		{Index: 2, AirtimeShare: 0.3},
+	}
+	if got := (AirtimeFair{}).Pick(0, views); got != 1 {
+		t.Fatalf("Pick = %d, want 1", got)
+	}
+}
+
+func TestMobilityAwarePrefersAwayClient(t *testing.T) {
+	views := []View{
+		{Index: 0, State: core.StateMacroAway, RecentMbps: 50, AirtimeShare: 0.33},
+		{Index: 1, State: core.StateMacroToward, RecentMbps: 50, AirtimeShare: 0.33},
+		{Index: 2, State: core.StateStatic, RecentMbps: 50, AirtimeShare: 0.33},
+	}
+	if got := (MobilityAware{}).Pick(0, views); got != 0 {
+		t.Fatalf("Pick = %d, want the away-walker", got)
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	clients := trio(1, 8)
+	res := Run(clients, &RoundRobin{}, nil, 8)
+	if len(res.PerClientMbps) != 3 || res.TotalMbps <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.JainFairness <= 0 || res.JainFairness > 1.000001 {
+		t.Fatalf("fairness = %v", res.JainFairness)
+	}
+	for i, m := range res.PerClientMbps {
+		if m <= 0 {
+			t.Fatalf("client %d starved under round robin", i)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res := Run(nil, &RoundRobin{}, nil, 1)
+	if res.TotalMbps != 0 {
+		t.Fatal("empty run should be zero")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(trio(2, 6), &RoundRobin{}, nil, 6)
+	b := Run(trio(2, 6), &RoundRobin{}, nil, 6)
+	if a.TotalMbps != b.TotalMbps {
+		t.Fatalf("same-seed runs differ: %v vs %v", a.TotalMbps, b.TotalMbps)
+	}
+}
+
+func TestMobilityAwareBeatsFairOnCellTotal(t *testing.T) {
+	// Draining the away-walker early should lift total cell throughput
+	// versus strict airtime fairness, averaged over seeds.
+	var fair, aware []float64
+	for seed := uint64(0); seed < 4; seed++ {
+		duration := 14.0
+		fair = append(fair, Run(trio(seed*7+1, duration), AirtimeFair{},
+			aggregation.Adaptive{}, duration).TotalMbps)
+		aware = append(aware, Run(trio(seed*7+1, duration), MobilityAware{},
+			aggregation.Adaptive{}, duration).TotalMbps)
+	}
+	f, a := stats.Mean(fair), stats.Mean(aware)
+	t.Logf("cell total: airtime-fair=%.1f Mbps mobility-aware=%.1f Mbps (%+.1f%%)", f, a, 100*(a/f-1))
+	if a < f*0.98 {
+		t.Fatalf("mobility-aware scheduling (%.1f) clearly below airtime-fair (%.1f)", a, f)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (&RoundRobin{}).Name() != "round-robin" ||
+		(AirtimeFair{}).Name() != "airtime-fair" ||
+		(MobilityAware{}).Name() != "mobility-aware" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestMobilityAwareNeverStarves(t *testing.T) {
+	clients := trio(9, 10)
+	res := Run(clients, MobilityAware{}, aggregation.Adaptive{}, 10)
+	for i, m := range res.PerClientMbps {
+		if m <= 0 {
+			t.Fatalf("client %d starved under mobility-aware scheduling: %v", i, res.PerClientMbps)
+		}
+	}
+	if res.JainFairness < 0.4 {
+		t.Fatalf("fairness collapsed: Jain %.2f", res.JainFairness)
+	}
+}
+
+func TestMobilityAwareFloorServesStarved(t *testing.T) {
+	views := []View{
+		{Index: 0, State: core.StateMacroAway, RecentMbps: 200, AirtimeShare: 0.9},
+		{Index: 1, State: core.StateStatic, RecentMbps: 0, AirtimeShare: 0.05},
+	}
+	if got := (MobilityAware{}).Pick(0, views); got != 1 {
+		t.Fatalf("Pick = %d, want the starved client", got)
+	}
+}

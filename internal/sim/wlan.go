@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"mobiwlan/internal/aggregation"
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/mac"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/ratecontrol"
+	"mobiwlan/internal/roaming"
+	"mobiwlan/internal/stats"
+	"mobiwlan/internal/tof"
+	"mobiwlan/internal/transport"
+)
+
+// WLANOptions configures the multi-AP end-to-end simulation (paper §7).
+type WLANOptions struct {
+	// Plan is the AP deployment.
+	Plan roaming.Plan
+	// MotionAware enables the paper's full stack: mobility-aware rate
+	// control, adaptive aggregation, and controller-based roaming, all
+	// driven by the classifier. When false the stack is the mobility-
+	// oblivious default: stock Atheros RA, fixed 4 ms aggregation, and
+	// the client's RSSI-threshold roaming.
+	MotionAware bool
+	// Source is the traffic source (nil means saturated UDP, matching the
+	// paper's iperf UDP tests).
+	Source transport.Source
+	// HandoffCost is the association gap in seconds.
+	HandoffCost float64
+	// ScanCost is the client's off-channel scan time.
+	ScanCost float64
+}
+
+// DefaultWLANOptions returns the Fig. 13 setting.
+func DefaultWLANOptions(motionAware bool) WLANOptions {
+	return WLANOptions{
+		Plan:        roaming.DefaultPlan(),
+		MotionAware: motionAware,
+		HandoffCost: 0.2,
+		ScanCost:    0.06,
+	}
+}
+
+// WLANResult summarizes an end-to-end run.
+type WLANResult struct {
+	// Mbps is the end-to-end goodput over the whole run.
+	Mbps float64
+	// Handoffs counts association changes.
+	Handoffs int
+	// Scans counts client scans.
+	Scans int
+}
+
+// RunWLAN simulates a client moving through the WLAN with the full
+// protocol stack at frame granularity.
+func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
+	rng := stats.NewRNG(seed)
+	nAP := len(opt.Plan.APs)
+	links := make([]*mac.Link, nAP)
+	for i, ap := range opt.Plan.APs {
+		ch := channel.NewAt(opt.Plan.Channel, ap, scen, rng.Split(uint64(i)+1))
+		links[i] = mac.NewLink(ch, rng.Split(uint64(i)+100))
+	}
+	src := opt.Source
+	if src == nil {
+		src = transport.Saturated{}
+	}
+
+	newAdapter := func() ratecontrol.Adapter {
+		if opt.MotionAware {
+			return ratecontrol.NewMobilityAware(ratecontrol.DefaultLinkConfig())
+		}
+		return ratecontrol.NewAtheros(ratecontrol.DefaultLinkConfig())
+	}
+	var aggPol aggregation.Policy = aggregation.Fixed{Limit: 4e-3}
+	var roamPol roaming.Policy = roaming.NewDefault80211()
+	if opt.MotionAware {
+		aggPol = aggregation.Adaptive{}
+		roamPol = roaming.NewMobilityAware()
+	}
+
+	// Controller instrumentation: classifier on the current AP, per-AP
+	// ToF trend detection for candidate headings.
+	cls := core.New(core.DefaultConfig())
+	meter := tof.NewMeter(tof.DefaultConfig(), rng.Split(777))
+	trends := make([]*tof.TrendDetector, nAP)
+	filters := make([]*stats.MedianFilter, nAP)
+	for i := range trends {
+		trends[i] = tof.NewTrendDetector(3, 0, 0.8)
+		filters[i] = &stats.MedianFilter{}
+	}
+
+	// Initial association: strongest AP.
+	cur := 0
+	bestRSSI := -1e18
+	for i, l := range links {
+		if v := l.Chan.MeanRSSI(0); v > bestRSSI {
+			cur, bestRSSI = i, v
+		}
+	}
+	adapter := newAdapter()
+
+	var res WLANResult
+	var bits float64
+	busyUntil := -1.0
+	scanPending := false
+	nextCSI, nextToF, nextTick, lastFlush := 0.0, 0.0, 0.0, 0.0
+	const tick = 0.1
+	const idleStep = 1e-3
+
+	for t := 0.0; t < scen.Duration; {
+		for nextCSI <= t {
+			cls.ObserveCSI(nextCSI, links[cur].Chan.Measure(nextCSI).CSI)
+			nextCSI += cls.Config().CSISamplePeriod
+		}
+		for nextToF <= t {
+			if cls.ToFActive() {
+				cls.ObserveToF(nextToF, meter.Raw(links[cur].Chan.Distance(nextToF)))
+			}
+			for i := range links {
+				filters[i].Add(meter.Raw(links[i].Chan.Distance(nextToF)))
+			}
+			nextToF += 0.02
+		}
+		if t-lastFlush >= 1 {
+			lastFlush = t
+			for i := range links {
+				if med, ok := filters[i].Flush(); ok {
+					trends[i].Push(med)
+				}
+			}
+		}
+
+		// Roaming decisions on the tick boundary.
+		if t >= nextTick {
+			nextTick = t + tick
+			obs := roaming.Observation{
+				T:           t,
+				Cur:         cur,
+				CurRSSI:     links[cur].Chan.Measure(t).RSSIdBm,
+				InfraRSSI:   make([]float64, nAP),
+				State:       cls.State(),
+				Approaching: make([]bool, nAP),
+			}
+			for i, l := range links {
+				obs.InfraRSSI[i] = l.Chan.Measure(t).RSSIdBm
+				obs.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
+			}
+			if scanPending && t >= busyUntil {
+				obs.ScanRSSI = obs.InfraRSSI
+				obs.ScanValid = true
+				scanPending = false
+			}
+			act := roamPol.Decide(obs)
+			if act.StartScan && t >= busyUntil {
+				busyUntil = t + opt.ScanCost
+				scanPending = true
+				res.Scans++
+			}
+			if act.RoamTo >= 0 && act.RoamTo != cur && t >= busyUntil {
+				cur = act.RoamTo
+				busyUntil = t + opt.HandoffCost
+				res.Handoffs++
+				cls = core.New(core.DefaultConfig())
+				adapter = newAdapter()
+			}
+		}
+
+		if t < busyUntil {
+			t = busyUntil
+			continue
+		}
+
+		state := core.StateUnknown
+		if opt.MotionAware {
+			state = cls.State()
+			if sa, ok := adapter.(ratecontrol.StateAware); ok {
+				sa.SetState(state)
+			}
+		}
+		link := links[cur]
+		mcs := adapter.SelectRate(t)
+		maxN := aggregation.MPDUs(aggPol, state, mcs, link.Width, link.SGI, link.MPDUBytes)
+		n := src.Demand(t, maxN)
+		if n <= 0 {
+			t += idleStep
+			continue
+		}
+		fr := link.Transmit(t, mcs, n)
+		adapter.OnResult(t+fr.Airtime, fr)
+		src.OnDelivery(t+fr.Airtime, fr.NMPDU, fr.Delivered, fr.BlockAck)
+		bits += fr.Goodput(link.MPDUBytes)
+		t += fr.Airtime
+	}
+	if scen.Duration > 0 {
+		res.Mbps = bits / scen.Duration / 1e6
+	}
+	return res
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonotoneTrendBasic(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		tol  float64
+		want Trend
+	}{
+		{[]float64{1, 2, 3, 4}, 0, TrendIncreasing},
+		{[]float64{4, 3, 2, 1}, 0, TrendDecreasing},
+		{[]float64{1, 3, 2, 4}, 0, TrendNone},
+		{[]float64{1, 1, 1}, 0, TrendNone},
+		{[]float64{1}, 0, TrendNone},
+		{nil, 0, TrendNone},
+		// Tolerance absorbs a small dip against the trend.
+		{[]float64{1, 2, 1.95, 3}, 0.1, TrendIncreasing},
+		// But the total travel must exceed the tolerance.
+		{[]float64{1, 1.01, 1.02}, 0.1, TrendNone},
+	}
+	for _, c := range cases {
+		if got := MonotoneTrend(c.xs, c.tol); got != c.want {
+			t.Errorf("MonotoneTrend(%v, %v) = %v, want %v", c.xs, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestTrendString(t *testing.T) {
+	if TrendIncreasing.String() != "increasing" ||
+		TrendDecreasing.String() != "decreasing" ||
+		TrendNone.String() != "none" {
+		t.Error("Trend.String misbehaves")
+	}
+}
+
+func TestMonotoneTrendReversalProperty(t *testing.T) {
+	// Negating a sequence flips increasing<->decreasing.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		r := NewRNG(seed)
+		xs := make([]float64, n)
+		neg := make([]float64, n)
+		acc := 0.0
+		for i := range xs {
+			acc += r.Float64() - 0.3 // biased upward drift
+			xs[i] = acc
+			neg[i] = -acc
+		}
+		a := MonotoneTrend(xs, 0)
+		b := MonotoneTrend(neg, 0)
+		switch a {
+		case TrendIncreasing:
+			return b == TrendDecreasing
+		case TrendDecreasing:
+			return b == TrendIncreasing
+		default:
+			return b == TrendNone
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 2x + 1
+	ys := []float64{1, 3, 5, 7, 9}
+	slope, intercept := LinearFit(ys)
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-1) > 1e-9 {
+		t.Fatalf("fit = (%v, %v), want (2, 1)", slope, intercept)
+	}
+}
+
+func TestLinearFitConstant(t *testing.T) {
+	slope, intercept := LinearFit([]float64{5, 5, 5})
+	if slope != 0 || intercept != 5 {
+		t.Fatalf("constant fit = (%v, %v)", slope, intercept)
+	}
+}
+
+func TestLinearFitShort(t *testing.T) {
+	slope, intercept := LinearFit([]float64{7})
+	if slope != 0 || intercept != 7 {
+		t.Fatalf("singleton fit = (%v, %v)", slope, intercept)
+	}
+}
+
+func TestLinearFitNoiseRobust(t *testing.T) {
+	r := NewRNG(5)
+	ys := make([]float64, 200)
+	for i := range ys {
+		ys[i] = 0.5*float64(i) + 3 + r.Gaussian(0, 0.5)
+	}
+	slope, intercept := LinearFit(ys)
+	if math.Abs(slope-0.5) > 0.01 {
+		t.Fatalf("noisy slope = %v, want ~0.5", slope)
+	}
+	if math.Abs(intercept-3) > 0.5 {
+		t.Fatalf("noisy intercept = %v, want ~3", intercept)
+	}
+}

@@ -1,0 +1,176 @@
+// Package transport provides the traffic sources driven over the MAC
+// simulator: a saturated source (iperf UDP at line rate), a constant-bit-
+// rate source, and a simplified TCP-Reno source whose congestion window
+// reacts to bursty link-layer outages.
+//
+// The TCP abstraction is deliberately coarse (paper experiments only need
+// the reaction shape): the MAC's per-subframe retransmissions hide isolated
+// losses from TCP, so the window is halved only on a complete frame loss
+// (a Block-ACK timeout, which in practice triggers an RTO or triple-dupack
+// burst), and otherwise grows additively per round trip. The window and the
+// round-trip time bound how much data may be in flight per unit time.
+package transport
+
+import "math"
+
+// Source supplies MPDUs to the MAC loop and reacts to delivery reports.
+type Source interface {
+	// Name identifies the source in experiment output.
+	Name() string
+	// Demand returns how many MPDUs (of mpduBytes each) the source can
+	// hand to a frame starting at time t, at most maxMPDU.
+	Demand(t float64, maxMPDU int) int
+	// OnDelivery reports a frame outcome: sent and delivered subframe
+	// counts and whether the Block ACK arrived at all.
+	OnDelivery(t float64, sent, delivered int, blockAck bool)
+}
+
+// Saturated always has a full queue (iperf UDP at line rate).
+type Saturated struct{}
+
+// Name implements Source.
+func (Saturated) Name() string { return "saturated-udp" }
+
+// Demand implements Source.
+func (Saturated) Demand(_ float64, maxMPDU int) int { return maxMPDU }
+
+// OnDelivery implements Source.
+func (Saturated) OnDelivery(float64, int, int, bool) {}
+
+// CBR releases packets at a constant bit rate, accumulating backlog when
+// the link is slower than the source.
+type CBR struct {
+	// RateMbps is the offered load.
+	RateMbps float64
+	// MPDUBytes is the packet size.
+	MPDUBytes int
+
+	lastT   float64
+	backlog float64 // packets
+	started bool
+}
+
+// Name implements Source.
+func (c *CBR) Name() string { return "cbr" }
+
+// Demand implements Source.
+func (c *CBR) Demand(t float64, maxMPDU int) int {
+	if !c.started {
+		c.started = true
+		c.lastT = t
+	}
+	dt := t - c.lastT
+	if dt > 0 {
+		c.backlog += c.RateMbps * 1e6 * dt / float64(8*c.MPDUBytes)
+		c.lastT = t
+	}
+	n := int(c.backlog)
+	if n > maxMPDU {
+		n = maxMPDU
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// OnDelivery implements Source.
+func (c *CBR) OnDelivery(_ float64, sent, delivered int, _ bool) {
+	// Delivered packets leave the queue; lost ones are retried by the MAC
+	// (remain queued).
+	c.backlog -= float64(delivered)
+	if c.backlog < 0 {
+		c.backlog = 0
+	}
+}
+
+// Backlog reports the queued packet count (for tests).
+func (c *CBR) Backlog() float64 { return c.backlog }
+
+// TCPReno is the simplified download TCP model.
+type TCPReno struct {
+	// RTT is the end-to-end round-trip time in seconds (server to client
+	// through the wired+wireless path).
+	RTT float64
+	// MPDUBytes is the segment size.
+	MPDUBytes int
+	// MaxWindow caps the window in segments (receiver window).
+	MaxWindow float64
+
+	cwnd     float64
+	ssthresh float64
+	credit   float64 // send credit in segments
+	lastT    float64
+	started  bool
+}
+
+// NewTCPReno returns a Reno source with a 20 ms RTT and a 512-segment
+// receive window.
+func NewTCPReno(mpduBytes int) *TCPReno {
+	return &TCPReno{
+		RTT:       0.020,
+		MPDUBytes: mpduBytes,
+		MaxWindow: 512,
+		cwnd:      10,
+		ssthresh:  256,
+	}
+}
+
+// Name implements Source.
+func (t *TCPReno) Name() string { return "tcp-reno" }
+
+// Cwnd reports the current congestion window in segments.
+func (t *TCPReno) Cwnd() float64 { return t.cwnd }
+
+// Demand implements Source.
+func (t *TCPReno) Demand(now float64, maxMPDU int) int {
+	if !t.started {
+		t.started = true
+		t.lastT = now
+	}
+	// The sender can push cwnd segments per RTT.
+	dt := now - t.lastT
+	if dt > 0 {
+		t.credit += t.cwnd * dt / t.RTT
+		t.lastT = now
+	}
+	if cap := 2 * t.cwnd; t.credit > cap {
+		t.credit = cap // never more than ~2 windows buffered at the AP
+	}
+	n := int(t.credit)
+	if n > maxMPDU {
+		n = maxMPDU
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// OnDelivery implements Source.
+func (t *TCPReno) OnDelivery(_ float64, sent, delivered int, blockAck bool) {
+	t.credit -= float64(sent)
+	if t.credit < 0 {
+		t.credit = 0
+	}
+	if !blockAck && sent > 0 {
+		// Complete frame loss: Block-ACK timeout surfaces to TCP as a
+		// loss event.
+		t.ssthresh = math.Max(2, t.cwnd/2)
+		t.cwnd = t.ssthresh
+		return
+	}
+	if delivered == 0 {
+		return
+	}
+	if t.cwnd < t.ssthresh {
+		// Slow start: one segment per ACK.
+		t.cwnd += float64(delivered)
+	} else {
+		// Congestion avoidance: one segment per window per RTT.
+		t.cwnd += float64(delivered) / t.cwnd
+	}
+	if t.cwnd > t.MaxWindow {
+		t.cwnd = t.MaxWindow
+	}
+}

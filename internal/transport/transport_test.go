@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSaturated(t *testing.T) {
+	var s Saturated
+	if s.Demand(0, 64) != 64 || s.Demand(100, 7) != 7 {
+		t.Fatal("saturated source should always fill the frame")
+	}
+	if s.Name() != "saturated-udp" {
+		t.Fatal("bad name")
+	}
+	s.OnDelivery(0, 10, 10, true) // no-op
+}
+
+func TestCBRAccumulation(t *testing.T) {
+	c := &CBR{RateMbps: 12, MPDUBytes: 1500} // 1000 packets/s
+	if n := c.Demand(0, 64); n != 0 {
+		t.Fatalf("initial demand = %d, want 0", n)
+	}
+	// After 32 ms, ~32 packets accumulated.
+	n := c.Demand(0.032, 64)
+	if n < 30 || n > 34 {
+		t.Fatalf("demand after 32 ms = %d, want ~32", n)
+	}
+	// Delivery drains the queue.
+	c.OnDelivery(0.032, n, n, true)
+	if c.Backlog() >= 1 {
+		t.Fatalf("backlog after full delivery = %v", c.Backlog())
+	}
+}
+
+func TestCBRCapsAtMaxMPDU(t *testing.T) {
+	c := &CBR{RateMbps: 120, MPDUBytes: 1500} // 10000 packets/s
+	c.Demand(0, 64)
+	if n := c.Demand(1, 16); n != 16 {
+		t.Fatalf("demand = %d, want cap 16", n)
+	}
+}
+
+func TestCBRLostPacketsStayQueued(t *testing.T) {
+	c := &CBR{RateMbps: 12, MPDUBytes: 1500}
+	c.Demand(0, 64)
+	n := c.Demand(0.1, 64) // ~100 queued, capped 64
+	before := c.Backlog()
+	c.OnDelivery(0.1, n, n/2, true) // half lost
+	if got := c.Backlog(); math.Abs(got-(before-float64(n/2))) > 1e-9 {
+		t.Fatalf("backlog = %v, want %v", got, before-float64(n/2))
+	}
+}
+
+func TestTCPSlowStartGrowth(t *testing.T) {
+	tcp := NewTCPReno(1500)
+	start := tcp.Cwnd()
+	tcp.Demand(0, 64)
+	tcp.OnDelivery(0, 10, 10, true)
+	if tcp.Cwnd() != start+10 {
+		t.Fatalf("slow-start growth: %v -> %v", start, tcp.Cwnd())
+	}
+}
+
+func TestTCPCongestionAvoidanceGrowth(t *testing.T) {
+	tcp := NewTCPReno(1500)
+	tcp.cwnd = 300 // above ssthresh 256
+	tcp.OnDelivery(0, 30, 30, true)
+	want := 300 + 30.0/300
+	if math.Abs(tcp.Cwnd()-want) > 1e-9 {
+		t.Fatalf("CA growth = %v, want %v", tcp.Cwnd(), want)
+	}
+}
+
+func TestTCPHalvesOnOutage(t *testing.T) {
+	tcp := NewTCPReno(1500)
+	tcp.cwnd = 100
+	tcp.OnDelivery(0, 20, 0, false)
+	if tcp.Cwnd() != 50 {
+		t.Fatalf("cwnd after outage = %v, want 50", tcp.Cwnd())
+	}
+	// Floor at 2.
+	tcp.cwnd = 3
+	tcp.OnDelivery(0, 5, 0, false)
+	if tcp.Cwnd() != 2 {
+		t.Fatalf("cwnd floor = %v", tcp.Cwnd())
+	}
+}
+
+func TestTCPWindowCap(t *testing.T) {
+	tcp := NewTCPReno(1500)
+	tcp.cwnd = tcp.MaxWindow - 1
+	tcp.ssthresh = 1 // force CA
+	for i := 0; i < 100; i++ {
+		tcp.OnDelivery(float64(i), 64, 64, true)
+	}
+	if tcp.Cwnd() > tcp.MaxWindow {
+		t.Fatalf("cwnd exceeded receiver window: %v", tcp.Cwnd())
+	}
+}
+
+func TestTCPDemandPacing(t *testing.T) {
+	tcp := NewTCPReno(1500)
+	tcp.cwnd = 100
+	tcp.Demand(0, 64)
+	// Over one RTT the source may release ~cwnd segments.
+	n1 := tcp.Demand(tcp.RTT, 1000)
+	if n1 < 90 || n1 > 210 { // credit cap allows up to 2 windows
+		t.Fatalf("demand after one RTT = %d", n1)
+	}
+	// Draining consumes credit.
+	tcp.OnDelivery(tcp.RTT, n1, n1, true)
+	n2 := tcp.Demand(tcp.RTT+1e-6, 1000)
+	if n2 > n1 {
+		t.Fatalf("credit did not drain: %d then %d", n1, n2)
+	}
+}
+
+func TestTCPPartialLossTolerated(t *testing.T) {
+	// MAC-recovered partial losses must not halve the window.
+	tcp := NewTCPReno(1500)
+	tcp.cwnd = 100
+	tcp.OnDelivery(0, 20, 15, true)
+	if tcp.Cwnd() < 100 {
+		t.Fatalf("partial loss halved the window: %v", tcp.Cwnd())
+	}
+}

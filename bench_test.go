@@ -18,6 +18,7 @@ import (
 	"mobiwlan/internal/csi"
 	"mobiwlan/internal/experiments"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/phy"
 	"mobiwlan/internal/roaming"
 	"mobiwlan/internal/sim"
@@ -25,14 +26,24 @@ import (
 )
 
 // benchExperiment runs one registered experiment per iteration at a small
-// scale.
+// scale on a single worker — the serial baseline the *Parallel variants
+// are compared against.
 func benchExperiment(b *testing.B, id string, scale float64) {
+	benchExperimentJobs(b, id, scale, 1)
+}
+
+// benchExperimentParallel runs the experiment with one worker per CPU.
+func benchExperimentParallel(b *testing.B, id string, scale float64) {
+	benchExperimentJobs(b, id, scale, parallel.DefaultJobs())
+}
+
+func benchExperimentJobs(b *testing.B, id string, scale float64, jobs int) {
 	b.Helper()
 	runner, ok := experiments.Get(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
-	cfg := experiments.Config{Seed: 42, Scale: scale}
+	cfg := experiments.Config{Seed: 42, Scale: scale, Jobs: jobs}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -66,6 +77,55 @@ func BenchmarkFigure12a(b *testing.B) { benchExperiment(b, "fig12a", 0.1) }
 func BenchmarkFigure12b(b *testing.B) { benchExperiment(b, "fig12b", 0.1) }
 func BenchmarkFigure13(b *testing.B)  { benchExperiment(b, "fig13", 0.1) }
 func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2", 1) }
+
+// Parallel variants: the same experiments with one worker per CPU. The
+// serial/parallel ratio is the trial fan-out speedup on this machine;
+// results are byte-identical by the parallel package's determinism
+// contract (asserted by TestParallelDeterminism).
+func BenchmarkFigure1Parallel(b *testing.B)   { benchExperimentParallel(b, "fig1", 0.2) }
+func BenchmarkFigure2bParallel(b *testing.B)  { benchExperimentParallel(b, "fig2b", 0.2) }
+func BenchmarkFigure2cParallel(b *testing.B)  { benchExperimentParallel(b, "fig2c", 0.2) }
+func BenchmarkTable1Parallel(b *testing.B)    { benchExperimentParallel(b, "table1", 0.15) }
+func BenchmarkFigure6aParallel(b *testing.B)  { benchExperimentParallel(b, "fig6a", 0.15) }
+func BenchmarkFigure6bParallel(b *testing.B)  { benchExperimentParallel(b, "fig6b", 0.15) }
+func BenchmarkFigure7aParallel(b *testing.B)  { benchExperimentParallel(b, "fig7a", 0.2) }
+func BenchmarkFigure7bParallel(b *testing.B)  { benchExperimentParallel(b, "fig7b", 0.15) }
+func BenchmarkFigure8aParallel(b *testing.B)  { benchExperimentParallel(b, "fig8a", 0.2) }
+func BenchmarkFigure9aParallel(b *testing.B)  { benchExperimentParallel(b, "fig9a", 0.1) }
+func BenchmarkFigure9bParallel(b *testing.B)  { benchExperimentParallel(b, "fig9b", 0.1) }
+func BenchmarkFigure10aParallel(b *testing.B) { benchExperimentParallel(b, "fig10a", 0.1) }
+func BenchmarkFigure10bParallel(b *testing.B) { benchExperimentParallel(b, "fig10b", 0.1) }
+func BenchmarkFigure11aParallel(b *testing.B) { benchExperimentParallel(b, "fig11a", 0.1) }
+func BenchmarkFigure11bParallel(b *testing.B) { benchExperimentParallel(b, "fig11b", 0.1) }
+func BenchmarkFigure12bParallel(b *testing.B) { benchExperimentParallel(b, "fig12b", 0.1) }
+func BenchmarkFigure13Parallel(b *testing.B)  { benchExperimentParallel(b, "fig13", 0.1) }
+
+// BenchmarkParallelTrials measures the pool's per-trial dispatch overhead
+// with a trivial workload: the difference against the jobs=1 case bounds
+// what the fan-out costs when trials are small.
+func BenchmarkParallelTrials(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		jobs int
+	}{{"jobs1", 1}, {"jobsNumCPU", parallel.DefaultJobs()}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := parallel.RunTrials(64, bc.jobs, func(trial int) float64 {
+					rng := stats.NewRNG(42).Split(uint64(trial))
+					s := 0.0
+					for k := 0; k < 200; k++ {
+						s += rng.Float64()
+					}
+					return s
+				})
+				if len(out) != 64 {
+					b.Fatal("bad result length")
+				}
+			}
+		})
+	}
+}
 
 // --- substrate micro-benchmarks ---
 

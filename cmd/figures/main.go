@@ -2,10 +2,17 @@
 //
 // Usage:
 //
-//	figures [-id fig2b,table1|all] [-seed N] [-scale S] [-csv DIR] [-list]
+//	figures [-id fig2b,table1|all] [-seed N] [-scale S] [-jobs N] [-csv DIR] [-list]
 //
 // Each experiment prints its rendered table and notes to stdout; -csv
 // additionally writes one CSV file per figure series for plotting.
+//
+// -jobs N bounds the worker pool: trials within an experiment fan out
+// across up to N workers, and independent experiment IDs run concurrently
+// under the same bound. Output is deterministic — the experiments derive
+// all per-trial randomness by splitting the root RNG at the trial index,
+// so stdout is byte-identical for every value of N (per-experiment timing
+// goes to stderr, which is the only run-dependent output).
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"mobiwlan/internal/experiments"
+	"mobiwlan/internal/parallel"
 )
 
 func main() {
@@ -24,6 +32,7 @@ func main() {
 		idFlag   = flag.String("id", "all", "comma-separated experiment IDs, or 'all'")
 		seed     = flag.Uint64("seed", 2014, "root RNG seed")
 		scale    = flag.Float64("scale", 1, "workload scale (1 = published defaults)")
+		jobs     = flag.Int("jobs", parallel.DefaultJobs(), "max concurrent workers (trials and experiments)")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV series into")
 		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -45,22 +54,40 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
-	for _, id := range ids {
+	runners := make([]experiments.Runner, len(ids))
+	for i, id := range ids {
 		runner, ok := experiments.Get(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
+		runners[i] = runner
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Jobs: *jobs}
+
+	// Independent experiment IDs run concurrently under the same worker
+	// bound; results are collected and printed in request order so stdout
+	// is identical to a serial run.
+	type timed struct {
+		res     experiments.Result
+		elapsed float64
+	}
+	results := parallel.RunTrials(len(ids), *jobs, func(i int) timed {
 		start := time.Now()
-		res := runner(cfg)
-		fmt.Println(res.Text)
-		for _, n := range res.Notes {
+		res := runners[i](cfg)
+		return timed{res: res, elapsed: time.Since(start).Seconds()}
+	})
+
+	for _, tr := range results {
+		fmt.Println(tr.res.Text)
+		for _, n := range tr.res.Notes {
 			fmt.Printf("note: %s\n", n)
 		}
-		fmt.Printf("(%s regenerated in %.1fs)\n\n", res.ID, time.Since(start).Seconds())
-		if *csvDir != "" && len(res.Series) > 0 {
-			if err := writeCSV(*csvDir, res); err != nil {
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %.1fs)\n", tr.res.ID, tr.elapsed)
+		if *csvDir != "" && len(tr.res.Series) > 0 {
+			if err := writeCSV(*csvDir, tr.res); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				os.Exit(1)
 			}

@@ -75,6 +75,9 @@ func TestBearingTracksOrbitingClient(t *testing.T) {
 }
 
 func TestBearingTrackerDetectsOrbit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	detected := 0
 	for seed := uint64(0); seed < 5; seed++ {
 		ch := orbitChannel(seed*7+1, 30)
@@ -97,6 +100,9 @@ func TestBearingTrackerDetectsOrbit(t *testing.T) {
 }
 
 func TestBearingTrackerQuietOnMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	falsePos := 0
 	for seed := uint64(0); seed < 5; seed++ {
 		cfg := mobility.DefaultSceneConfig()

@@ -18,10 +18,11 @@ type Server struct {
 	// Logf, when set, receives protocol-level diagnostics.
 	Logf func(format string, args ...any)
 
-	mu   sync.Mutex
-	aps  map[string]*apSession
-	done chan struct{}
-	wg   sync.WaitGroup
+	mu    sync.Mutex
+	aps   map[string]*apSession
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
 }
 
 type apSession struct {
@@ -46,6 +47,7 @@ func NewServer(addr string, coord *Coordinator) (*Server, error) {
 		coord: coord,
 		ln:    ln,
 		aps:   map[string]*apSession{},
+		conns: map[net.Conn]struct{}{},
 		done:  make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -60,9 +62,12 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error {
 	close(s.done)
 	err := s.ln.Close()
+	// Close every live connection, not just hello-registered sessions: a
+	// conn whose hello is still in flight would otherwise keep serveConn
+	// blocked in ReadMsg and deadlock the Wait below.
 	s.mu.Lock()
-	for _, ap := range s.aps {
-		ap.conn.Close()
+	for conn := range s.conns {
+		conn.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -99,14 +104,38 @@ func (s *Server) acceptLoop() {
 				return
 			}
 		}
+		if !s.track(conn) {
+			conn.Close() // raced with Close: shut the conn down ourselves
+			return
+		}
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// track records an accepted connection so Close can terminate it. It
+// reports false when the server is already shutting down, in which case
+// Close will not see the conn and the caller must close it.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 
 	// First message must be a Hello.
 	env, err := ReadMsg(conn)

@@ -9,6 +9,7 @@ import (
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/mac"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/phy"
 	"mobiwlan/internal/ratecontrol"
 	"mobiwlan/internal/roaming"
@@ -36,19 +37,26 @@ func AblationOracle(cfg Config) Result {
 	links := cfg.scaleInt(10, 3)
 	dur := cfg.scaleDur(18, 10)
 	rng := cfg.rng(2000)
+	type triple struct{ stock, classified, oracle float64 }
 	var stock, classified, oracle []float64
-	for l := 0; l < links; l++ {
+	for _, tr := range parallel.RunTrials(links, cfg.jobs(), func(l int) triple {
 		scen := mixedMobilityScenario(l, dur, rng.Split(uint64(l)))
 		run := func(opt sim.LinkOptions) float64 {
 			isolateRA(&opt)
 			return sim.RunLink(scen, opt, cfg.Seed+uint64(l)).Mbps
 		}
-		stock = append(stock, run(sim.DefaultLinkOptions()))
-		classified = append(classified, run(sim.MotionAwareLinkOptions()))
 		o := sim.MotionAwareLinkOptions()
 		o.UseClassifier = false
 		o.OracleState = sim.OracleStateFunc(scen)
-		oracle = append(oracle, run(o))
+		return triple{
+			stock:      run(sim.DefaultLinkOptions()),
+			classified: run(sim.MotionAwareLinkOptions()),
+			oracle:     run(o),
+		}
+	}) {
+		stock = append(stock, tr.stock)
+		classified = append(classified, tr.classified)
+		oracle = append(oracle, tr.oracle)
 	}
 	rows := [][2]string{
 		{"stock Atheros", fmt.Sprintf("%.1f Mbps", stats.Mean(stock))},
@@ -87,9 +95,11 @@ func AblationThresholds(cfg Config) Result {
 		var cm core.ConfusionMatrix
 		for _, mode := range mobility.AllModes {
 			rng := cfg.rng(uint64(mode)*7 + uint64(p.sta*1e4) + uint64(p.env*1e3))
-			for r := 0; r < runs; r++ {
+			for _, decisions := range parallel.RunTrials(runs, cfg.jobs(), func(r int) []core.Decision {
 				scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
-				cm.Add(core.RunScenario(scen, pc, cfg.Seed+uint64(r)), 6)
+				return core.RunScenario(scen, pc, cfg.Seed+uint64(r))
+			}) {
+				cm.Add(decisions, 6)
 			}
 		}
 		diag := cm.Diagonal()
@@ -127,11 +137,14 @@ func Ablation80211r(cfg Config) Result {
 	measure := func(handoffCost float64) (mbps, outage float64) {
 		runner := roaming.NewRunner(roaming.DefaultPlan())
 		runner.HandoffCost = handoffCost
+		type walkRes struct{ mbps, outage float64 }
 		var ms, outs []float64
-		for r, scen := range walks {
-			res := runner.Run(scen, roaming.NewMobilityAware(), cfg.Seed+uint64(r))
-			ms = append(ms, res.Mbps)
-			outs = append(outs, float64(res.Handoffs)*handoffCost)
+		for _, w := range parallel.RunTrials(len(walks), cfg.jobs(), func(r int) walkRes {
+			res := runner.Run(walks[r], roaming.NewMobilityAware(), cfg.Seed+uint64(r))
+			return walkRes{mbps: res.Mbps, outage: float64(res.Handoffs) * handoffCost}
+		}) {
+			ms = append(ms, w.mbps)
+			outs = append(outs, w.outage)
 		}
 		return stats.Median(ms), stats.Mean(outs)
 	}
@@ -161,8 +174,7 @@ func AblationWidth(cfg Config) Result {
 	dur := cfg.scaleDur(16, 10)
 	rng := cfg.rng(2200)
 	measure := func(width phy.ChannelWidth) float64 {
-		var all []float64
-		for r := 0; r < runs; r++ {
+		all := parallel.RunTrials(runs, cfg.jobs(), func(r int) float64 {
 			mcfg := mobility.DefaultSceneConfig()
 			mcfg.Duration = dur
 			scen := mobility.NewMacroScenario(mobility.HeadingAway, mcfg, rng.Split(uint64(r)))
@@ -176,9 +188,8 @@ func AblationWidth(cfg Config) Result {
 				stats.NewRNG(cfg.Seed+uint64(r)+9))
 			link.Width = width
 			lc := ratecontrol.LinkConfig{Width: width, SGI: true, MPDUBytes: 1500, MaxStreams: 2}
-			res := ratecontrol.Run(link, ratecontrol.NewAtheros(lc), nil, dur, nil)
-			all = append(all, res.Mbps)
-		}
+			return ratecontrol.Run(link, ratecontrol.NewAtheros(lc), nil, dur, nil).Mbps
+		})
 		return stats.Mean(all)
 	}
 	w40 := measure(phy.Width40)
@@ -207,17 +218,15 @@ func AblationQuantization(cfg Config) Result {
 	var pts []stats.Point
 	var notes []string
 	for _, bits := range []int{2, 3, 4, 6, 8} {
-		var all []float64
-		for r := 0; r < runs; r++ {
+		all := parallel.RunTrials(runs, cfg.jobs(), func(r int) float64 {
 			mcfg := mobility.DefaultSceneConfig()
 			mcfg.Duration = dur + 2
 			scen := mobility.NewScenario(mobility.Micro, mcfg, cfg.rng(2300+uint64(r)))
 			ch := bfChannel(scen, cfg.Seed+uint64(r)*13)
 			suCfg := beamforming.DefaultSUConfig()
 			suCfg.FeedbackBits = bits
-			res := beamforming.RunSU(ch, beamforming.FixedFeedback{T: 10e-3}, nil, suCfg, dur)
-			all = append(all, res.Mbps)
-		}
+			return beamforming.RunSU(ch, beamforming.FixedFeedback{T: 10e-3}, nil, suCfg, dur).Mbps
+		})
 		pts = append(pts, stats.Point{X: float64(bits), Y: stats.Mean(all)})
 		notes = append(notes, fmt.Sprintf("%d bits: %.1f Mbps", bits, stats.Mean(all)))
 	}
@@ -240,8 +249,9 @@ func AblationOrbit(cfg Config) Result {
 	runs := cfg.scaleInt(6, 3)
 	dur := cfg.scaleDur(25, 15)
 	warmup := 8.0
+	type orbitRes struct{ base, ext float64 }
 	var baseMacro, extMacro []float64
-	for r := 0; r < runs; r++ {
+	orbitOne := func(r int) orbitRes {
 		mcfg := mobility.DefaultSceneConfig()
 		mcfg.Duration = dur
 		scen := mobility.NewCircleScenario(mcfg, cfg.rng(2400+uint64(r)))
@@ -258,7 +268,7 @@ func AblationOrbit(cfg Config) Result {
 				macro++
 			}
 		}
-		baseMacro = append(baseMacro, 100*float64(macro)/float64(max(total, 1)))
+		base := 100 * float64(macro) / float64(max(total, 1))
 
 		// Extended classifier (manual pipeline with AoA).
 		rng := stats.NewRNG(cfg.Seed + uint64(r))
@@ -285,7 +295,11 @@ func AblationOrbit(cfg Config) Result {
 				nextToF += 0.02
 			}
 		}
-		extMacro = append(extMacro, 100*float64(macro)/float64(max(total, 1)))
+		return orbitRes{base: base, ext: 100 * float64(macro) / float64(max(total, 1))}
+	}
+	for _, o := range parallel.RunTrials(runs, cfg.jobs(), orbitOne) {
+		baseMacro = append(baseMacro, o.base)
+		extMacro = append(extMacro, o.ext)
 	}
 	rows := [][2]string{
 		{"base classifier (CSI+ToF)", fmt.Sprintf("%.0f%% of orbit decisions macro", stats.Mean(baseMacro))},
@@ -329,9 +343,10 @@ func AblationSched(cfg Config) Result {
 	}
 	measure := func(mk func() sched.Policy) (total, fairness float64) {
 		var ts, fs []float64
-		for r := 0; r < runs; r++ {
-			res := sched.Run(mkClients(cfg.Seed+uint64(r)*13), mk(),
+		for _, res := range parallel.RunTrials(runs, cfg.jobs(), func(r int) sched.Result {
+			return sched.Run(mkClients(cfg.Seed+uint64(r)*13), mk(),
 				aggregation.Adaptive{}, dur)
+		}) {
 			ts = append(ts, res.TotalMbps)
 			fs = append(fs, res.JainFairness)
 		}

@@ -6,6 +6,7 @@ import (
 )
 
 func TestAblationOracle(t *testing.T) {
+	skipIfShort(t)
 	r := AblationOracle(quickCfg())
 	if !strings.Contains(r.Text, "oracle") {
 		t.Fatalf("text:\n%s", r.Text)
@@ -47,6 +48,7 @@ func TestAblation80211r(t *testing.T) {
 }
 
 func TestAblationWidth(t *testing.T) {
+	skipIfShort(t)
 	r := AblationWidth(Config{Seed: 7, Scale: 0.25})
 	if !strings.Contains(r.Text, "40 MHz") || !strings.Contains(r.Text, "20 MHz") {
 		t.Fatalf("text:\n%s", r.Text)
@@ -54,6 +56,7 @@ func TestAblationWidth(t *testing.T) {
 }
 
 func TestAblationQuantization(t *testing.T) {
+	skipIfShort(t)
 	r := AblationQuantization(Config{Seed: 7, Scale: 0.3})
 	s := seriesByName(t, r, "throughput")
 	if len(s.Points) != 5 {
@@ -78,6 +81,7 @@ func TestAblationOrbit(t *testing.T) {
 }
 
 func TestAblationSched(t *testing.T) {
+	skipIfShort(t)
 	r := AblationSched(Config{Seed: 7, Scale: 0.3})
 	if !strings.Contains(r.Text, "mobility-aware") || !strings.Contains(r.Text, "Jain") {
 		t.Fatalf("text:\n%s", r.Text)

@@ -6,6 +6,7 @@ import (
 	"mobiwlan/internal/aggregation"
 	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/sim"
 	"mobiwlan/internal/stats"
 	"mobiwlan/internal/transport"
@@ -42,12 +43,11 @@ func Figure10a(cfg Config) Result {
 		rng := cfg.rng(uint64(vi) + 1000)
 		var pts []stats.Point
 		for _, limit := range limits {
-			var all []float64
-			for r := 0; r < runs; r++ {
+			all := parallel.RunTrials(runs, cfg.jobs(), func(r int) float64 {
 				scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
 				opt := aggLinkOptions(aggregation.Fixed{Limit: limit}, false)
-				all = append(all, sim.RunLink(scen, opt, cfg.Seed+uint64(vi)*37+uint64(r)).Mbps)
-			}
+				return sim.RunLink(scen, opt, cfg.Seed+uint64(vi)*37+uint64(r)).Mbps
+			})
 			pts = append(pts, stats.Point{X: limit * 1000, Y: stats.Mean(all)})
 		}
 		series = append(series, stats.Series{Name: mode.String(), Points: pts})
@@ -119,14 +119,13 @@ func Figure10b(cfg Config) Result {
 	medians := map[string]float64{}
 	var series []stats.Series
 	for _, pc := range cases {
-		var all []float64
-		for l := 0; l < links; l++ {
+		all := parallel.RunTrials(links, cfg.jobs(), func(l int) float64 {
 			scen := phasedLinkScenario(l, dur, rng.Split(uint64(l)))
 			opt := pc.mk()
 			opt.Channel.TxPowerDBm = 2 // cell-edge links, where aggregates age
 			opt.Source = transport.NewTCPReno(1500)
-			all = append(all, sim.RunLink(scen, opt, cfg.Seed+uint64(l)).Mbps)
-		}
+			return sim.RunLink(scen, opt, cfg.Seed+uint64(l)).Mbps
+		})
 		medians[pc.name] = stats.Median(all)
 		series = append(series, stats.CDFSeries(pc.name, all, 25))
 	}

@@ -7,6 +7,7 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/stats"
 )
 
@@ -70,14 +71,12 @@ func Figure11a(cfg Config) Result {
 		rng := cfg.rng(uint64(vi) + 1100)
 		var pts []stats.Point
 		for _, period := range periods {
-			var all []float64
-			for r := 0; r < runs; r++ {
+			all := parallel.RunTrials(runs, cfg.jobs(), func(r int) float64 {
 				scen := sceneFor(mode, r, dur+2, 1, rng.Split(uint64(r)))
 				ch := bfChannel(scen, cfg.Seed+uint64(vi)*31+uint64(r))
-				res := beamforming.RunSU(ch, beamforming.FixedFeedback{T: period}, nil,
-					beamforming.DefaultSUConfig(), dur)
-				all = append(all, res.Mbps)
-			}
+				return beamforming.RunSU(ch, beamforming.FixedFeedback{T: period}, nil,
+					beamforming.DefaultSUConfig(), dur).Mbps
+			})
 			pts = append(pts, stats.Point{X: period * 1000, Y: stats.Mean(all)})
 		}
 		series = append(series, stats.Series{Name: mode.String(), Points: pts})
@@ -114,7 +113,6 @@ func Figure11b(cfg Config) Result {
 	links := cfg.scaleInt(30, 6)
 	dur := cfg.scaleDur(10, 5)
 	rng := cfg.rng(1110)
-	var gains []float64
 	// The paper's Fig. 11(b) evaluates "mobile links": the clients are
 	// under device mobility (micro or macro), not parked.
 	mobileVariants := []modeVariant{
@@ -122,20 +120,22 @@ func Figure11b(cfg Config) Result {
 		{"macro-toward", mobility.Macro, mobility.HeadingToward},
 		{"macro-away", mobility.Macro, mobility.HeadingAway},
 	}
-	for l := 0; l < links; l++ {
-		v := mobileVariants[l%len(mobileVariants)]
-		scen := variantScene(v, l, dur+6, rng.Split(uint64(l)))
-		stateAt := classifierStateFunc(scen, cfg.Seed+uint64(l))
-		chA := bfChannel(scen, cfg.Seed+uint64(l)*7)
-		def := beamforming.RunSU(chA, beamforming.FixedFeedback{T: 200e-3}, nil,
-			beamforming.DefaultSUConfig(), dur)
-		chB := bfChannel(scen, cfg.Seed+uint64(l)*7)
-		ada := beamforming.RunSU(chB, beamforming.Adaptive{}, stateAt,
-			beamforming.DefaultSUConfig(), dur)
-		if def.Mbps > 0 {
-			gains = append(gains, 100*(ada.Mbps/def.Mbps-1))
-		}
-	}
+	gains := parallel.Flatten(
+		parallel.RunTrials(links, cfg.jobs(), func(l int) []float64 {
+			v := mobileVariants[l%len(mobileVariants)]
+			scen := variantScene(v, l, dur+6, rng.Split(uint64(l)))
+			stateAt := classifierStateFunc(scen, cfg.Seed+uint64(l))
+			chA := bfChannel(scen, cfg.Seed+uint64(l)*7)
+			def := beamforming.RunSU(chA, beamforming.FixedFeedback{T: 200e-3}, nil,
+				beamforming.DefaultSUConfig(), dur)
+			chB := bfChannel(scen, cfg.Seed+uint64(l)*7)
+			ada := beamforming.RunSU(chB, beamforming.Adaptive{}, stateAt,
+				beamforming.DefaultSUConfig(), dur)
+			if def.Mbps > 0 {
+				return []float64{100 * (ada.Mbps/def.Mbps - 1)}
+			}
+			return nil
+		}))
 	series := []stats.Series{stats.CDFSeries("gain", gains, 25)}
 	res := Result{
 		ID:     "fig11b",
@@ -200,9 +200,12 @@ func Figure12a(cfg Config) Result {
 	names := []string{"environmental", "micro", "macro"}
 	curves := make([][]stats.Point, 3)
 	var total []stats.Point
-	for _, period := range periods {
+	for i, res := range parallel.RunTrials(len(periods), cfg.jobs(), func(i int) beamforming.MUResult {
+		period := periods[i]
 		users := muTrio(cfg, 0, dur, [3]float64{period, period, period}, false)
-		res := beamforming.RunMU(users, beamforming.DefaultMUConfig(), dur)
+		return beamforming.RunMU(users, beamforming.DefaultMUConfig(), dur)
+	}) {
+		period := periods[i]
 		for u := 0; u < 3; u++ {
 			curves[u] = append(curves[u], stats.Point{X: period * 1000, Y: res.PerUserMbps[u]})
 		}
@@ -235,13 +238,18 @@ func Figure12b(cfg Config) Result {
 	names := []string{"environmental", "micro", "macro"}
 	gainsByUser := map[string][]float64{}
 	var overall []float64
-	for s := 0; s < scenarios; s++ {
-		def := beamforming.RunMU(
-			muTrio(cfg, s, dur, [3]float64{20e-3, 20e-3, 20e-3}, false),
-			beamforming.DefaultMUConfig(), dur)
-		ada := beamforming.RunMU(
-			muTrio(cfg, s, dur, [3]float64{}, true),
-			beamforming.DefaultMUConfig(), dur)
+	type muPair struct{ def, ada beamforming.MUResult }
+	for _, p := range parallel.RunTrials(scenarios, cfg.jobs(), func(s int) muPair {
+		return muPair{
+			def: beamforming.RunMU(
+				muTrio(cfg, s, dur, [3]float64{20e-3, 20e-3, 20e-3}, false),
+				beamforming.DefaultMUConfig(), dur),
+			ada: beamforming.RunMU(
+				muTrio(cfg, s, dur, [3]float64{}, true),
+				beamforming.DefaultMUConfig(), dur),
+		}
+	}) {
+		def, ada := p.def, p.ada
 		for u, name := range names {
 			if def.PerUserMbps[u] > 0 {
 				gainsByUser[name] = append(gainsByUser[name],

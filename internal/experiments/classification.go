@@ -7,6 +7,7 @@ import (
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/stats"
 	"mobiwlan/internal/tof"
 )
@@ -49,19 +50,21 @@ func Figure1(cfg Config) Result {
 	order := []string{"static", "environmental", "micro", "macro"}
 	for _, mode := range mobility.AllModes {
 		rng := cfg.rng(uint64(mode) + 1)
-		for r := 0; r < runs; r++ {
-			scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
-			ch := channel.New(channel.DefaultConfig(), scen, rng.Split(uint64(r)+1000))
-			// RSSI sampled from ACKs every 100 ms; stddev per 5 s window.
-			var window []float64
-			for t := 0.0; t < dur; t += 0.1 {
-				window = append(window, ch.Measure(t).RSSIdBm)
-				if len(window) == 50 {
-					samples[mode.String()] = append(samples[mode.String()], stats.StdDev(window))
-					window = window[:0]
+		samples[mode.String()] = parallel.Flatten(
+			parallel.RunTrials(runs, cfg.jobs(), func(r int) []float64 {
+				scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
+				ch := channel.New(channel.DefaultConfig(), scen, rng.Split(uint64(r)+1000))
+				// RSSI sampled from ACKs every 100 ms; stddev per 5 s window.
+				var out, window []float64
+				for t := 0.0; t < dur; t += 0.1 {
+					window = append(window, ch.Measure(t).RSSIdBm)
+					if len(window) == 50 {
+						out = append(out, stats.StdDev(window))
+						window = window[:0]
+					}
 				}
-			}
-		}
+				return out
+			}))
 	}
 	var series []stats.Series
 	for _, name := range order {
@@ -112,8 +115,8 @@ func Figure2a(cfg Config) Result {
 		{"micro", mobility.Micro, 1},
 		{"macro", mobility.Macro, 1},
 	}
-	var series []stats.Series
-	for i, v := range variants {
+	series := parallel.RunTrials(len(variants), cfg.jobs(), func(i int) stats.Series {
+		v := variants[i]
 		rng := cfg.rng(uint64(i) + 10)
 		scen := sceneFor(v.mode, 1, dur, v.intensity, rng)
 		ch := channel.New(channel.DefaultConfig(), scen, rng.Split(99))
@@ -122,8 +125,8 @@ func Figure2a(cfg Config) Result {
 		for j, s := range sims {
 			pts[j] = stats.Point{X: float64(j+1) * 0.1, Y: s}
 		}
-		series = append(series, stats.Series{Name: v.name, Points: pts})
-	}
+		return stats.Series{Name: v.name, Points: pts}
+	})
 	res := Result{
 		ID:     "fig2a",
 		Title:  "Figure 2(a): CSI similarity over time (tau = 100 ms)",
@@ -156,12 +159,12 @@ func Figure2b(cfg Config) Result {
 	medians := map[string]float64{}
 	for i, v := range variants {
 		rng := cfg.rng(uint64(i) + 30)
-		var all []float64
-		for r := 0; r < runs; r++ {
-			scen := sceneFor(v.mode, r, dur, v.intensity, rng.Split(uint64(r)))
-			ch := channel.New(channel.DefaultConfig(), scen, rng.Split(uint64(r)+500))
-			all = append(all, similaritySeries(ch, 0.5, dur)...)
-		}
+		all := parallel.Flatten(
+			parallel.RunTrials(runs, cfg.jobs(), func(r int) []float64 {
+				scen := sceneFor(v.mode, r, dur, v.intensity, rng.Split(uint64(r)))
+				ch := channel.New(channel.DefaultConfig(), scen, rng.Split(uint64(r)+500))
+				return similaritySeries(ch, 0.5, dur)
+			}))
 		medians[v.name] = stats.Median(all)
 		series = append(series, stats.CDFSeries(v.name, all, 25))
 	}
@@ -190,12 +193,12 @@ func Figure2c(cfg Config) Result {
 	for _, tau := range periods {
 		for _, mode := range []mobility.Mode{mobility.Micro, mobility.Macro} {
 			rng := cfg.rng(uint64(mode)*100 + uint64(tau*1e4))
-			var all []float64
-			for r := 0; r < runs; r++ {
-				scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
-				ch := channel.New(channel.DefaultConfig(), scen, rng.Split(uint64(r)+500))
-				all = append(all, similaritySeries(ch, tau, dur)...)
-			}
+			all := parallel.Flatten(
+				parallel.RunTrials(runs, cfg.jobs(), func(r int) []float64 {
+					scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
+					ch := channel.New(channel.DefaultConfig(), scen, rng.Split(uint64(r)+500))
+					return similaritySeries(ch, tau, dur)
+				}))
 			name := fmt.Sprintf("%s@%.0fms", mode, tau*1000)
 			series = append(series, stats.CDFSeries(name, all, 25))
 			notes = append(notes, fmt.Sprintf("median %s = %.3f", name, stats.Median(all)))
@@ -238,10 +241,12 @@ func Figure4(cfg Config) Result {
 		w.PingPong = true
 		macro.Client = w
 	}
-	series := []stats.Series{
-		mkSeries("micro", micro, 43),
-		mkSeries("macro", macro, 44),
-	}
+	series := parallel.RunTrials(2, cfg.jobs(), func(i int) stats.Series {
+		if i == 0 {
+			return mkSeries("micro", micro, 43)
+		}
+		return mkSeries("macro", macro, 44)
+	})
 	res := Result{
 		ID:     "fig4",
 		Title:  "Figure 4: per-second ToF medians over time under device mobility (clock cycles, offset removed)",
@@ -262,9 +267,11 @@ func Table1(cfg Config) Result {
 	pc := core.DefaultPipelineConfig()
 	for _, mode := range mobility.AllModes {
 		rng := cfg.rng(uint64(mode) + 60)
-		for r := 0; r < runs; r++ {
+		for _, decisions := range parallel.RunTrials(runs, cfg.jobs(), func(r int) []core.Decision {
 			scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)*3+1))
-			cm.Add(core.RunScenario(scen, pc, cfg.Seed+uint64(mode)*1000+uint64(r)), warmup)
+			return core.RunScenario(scen, pc, cfg.Seed+uint64(mode)*1000+uint64(r))
+		}) {
+			cm.Add(decisions, warmup)
 		}
 	}
 	rows := [][2]string{
@@ -287,6 +294,41 @@ func Table1(cfg Config) Result {
 	return res
 }
 
+// counts tallies classifier decisions over one trial.
+type counts struct{ hit, total int }
+
+// countMobile counts post-warmup decisions, with hits where the state is a
+// device-mobility class (micro or macro).
+func countMobile(decisions []core.Decision, warmup float64) counts {
+	var c counts
+	for _, d := range decisions {
+		if d.Time < warmup {
+			continue
+		}
+		c.total++
+		if m := d.State.Mode(); m == mobility.Micro || m == mobility.Macro {
+			c.hit++
+		}
+	}
+	return c
+}
+
+// countMode counts post-warmup decisions, with hits where the state's mode
+// equals want.
+func countMode(decisions []core.Decision, warmup float64, want mobility.Mode) counts {
+	var c counts
+	for _, d := range decisions {
+		if d.Time < warmup {
+			continue
+		}
+		c.total++
+		if d.State.Mode() == want {
+			c.hit++
+		}
+	}
+	return c
+}
+
 // Figure6a reproduces accuracy and false positives of CSI-based
 // device-mobility detection versus the CSI sampling period.
 func Figure6a(cfg Config) Result {
@@ -303,34 +345,24 @@ func Figure6a(cfg Config) Result {
 		correct, total := 0, 0
 		for _, mode := range []mobility.Mode{mobility.Micro, mobility.Macro} {
 			rng := cfg.rng(uint64(mode)*7 + uint64(period*1e5))
-			for r := 0; r < runs; r++ {
+			for _, c := range parallel.RunTrials(runs, cfg.jobs(), func(r int) counts {
 				scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
-				for _, d := range core.RunScenario(scen, pc, cfg.Seed+uint64(r)) {
-					if d.Time < warmup {
-						continue
-					}
-					total++
-					if m := d.State.Mode(); m == mobility.Micro || m == mobility.Macro {
-						correct++
-					}
-				}
+				return countMobile(core.RunScenario(scen, pc, cfg.Seed+uint64(r)), warmup)
+			}) {
+				correct += c.hit
+				total += c.total
 			}
 		}
 		// False positives: stationary scenarios classified as device mobility.
 		fpCount, fpTotal := 0, 0
 		for _, mode := range []mobility.Mode{mobility.Static, mobility.Environmental} {
 			rng := cfg.rng(uint64(mode)*13 + uint64(period*1e5))
-			for r := 0; r < runs; r++ {
+			for _, c := range parallel.RunTrials(runs, cfg.jobs(), func(r int) counts {
 				scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
-				for _, d := range core.RunScenario(scen, pc, cfg.Seed+uint64(r)+99) {
-					if d.Time < warmup {
-						continue
-					}
-					fpTotal++
-					if m := d.State.Mode(); m == mobility.Micro || m == mobility.Macro {
-						fpCount++
-					}
-				}
+				return countMobile(core.RunScenario(scen, pc, cfg.Seed+uint64(r)+99), warmup)
+			}) {
+				fpCount += c.hit
+				fpTotal += c.total
 			}
 		}
 		a := 100 * float64(correct) / float64(max(total, 1))
@@ -372,33 +404,23 @@ func Figure6b(cfg Config) Result {
 		correct, total := 0, 0
 		for _, mode := range []mobility.Mode{mobility.Micro, mobility.Macro} {
 			rng := cfg.rng(uint64(w)*31 + uint64(mode) + 7)
-			for r := 0; r < runs; r++ {
+			for _, c := range parallel.RunTrials(runs, cfg.jobs(), func(r int) counts {
 				scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)))
-				for _, d := range core.RunScenario(scen, pc, cfg.Seed+uint64(r)) {
-					if d.Time < warmup {
-						continue
-					}
-					total++
-					if d.State.Mode() == mode {
-						correct++
-					}
-				}
+				return countMode(core.RunScenario(scen, pc, cfg.Seed+uint64(r)), warmup, mode)
+			}) {
+				correct += c.hit
+				total += c.total
 			}
 		}
 		// False positives on micro scenarios.
 		fpCount, fpTotal := 0, 0
 		fpRNG := cfg.rng(uint64(w)*31 + 8)
-		for r := 0; r < runs; r++ {
+		for _, c := range parallel.RunTrials(runs, cfg.jobs(), func(r int) counts {
 			scen := sceneFor(mobility.Micro, r, dur, 1, fpRNG.Split(uint64(r)))
-			for _, d := range core.RunScenario(scen, pc, cfg.Seed+uint64(r)+55) {
-				if d.Time < warmup {
-					continue
-				}
-				fpTotal++
-				if d.State.Mode() == mobility.Macro {
-					fpCount++
-				}
-			}
+			return countMode(core.RunScenario(scen, pc, cfg.Seed+uint64(r)+55), warmup, mobility.Macro)
+		}) {
+			fpCount += c.hit
+			fpTotal += c.total
 		}
 		a := 100 * float64(correct) / float64(max(total, 1))
 		f := 100 * float64(fpCount) / float64(max(fpTotal, 1))

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelDeterminism is the regression test for the parallel runner's
+// determinism contract: for representative experiments spanning the
+// classification, roaming and link-simulation subsystems, the rendered
+// text and every series value must be identical for jobs=1 vs jobs=8 and
+// across repeated runs of the same Config. Any experiment that derives
+// trial randomness from shared sequentially-advanced state (instead of
+// RNG-split-per-trial) fails this test under jobs>1.
+func TestParallelDeterminism(t *testing.T) {
+	// One representative per subsystem, at a scale small enough to run in
+	// every mode: fig2b (CSI classification substrate), fig7b (multi-AP
+	// roaming simulator), fig10a (closed-loop link simulator).
+	ids := []string{"fig2b", "fig7b", "fig10a"}
+	if testing.Short() {
+		ids = ids[:2]
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			runner, ok := Get(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			base := Config{Seed: 99, Scale: 0.2, Jobs: 1}
+			serial := runner(base)
+
+			wide := base
+			wide.Jobs = 8
+			parallel8 := runner(wide)
+			assertSameResult(t, "jobs=1 vs jobs=8", serial, parallel8)
+
+			repeat := runner(wide)
+			assertSameResult(t, "run1 vs run2 (jobs=8)", parallel8, repeat)
+		})
+	}
+}
+
+func assertSameResult(t *testing.T, what string, a, b Result) {
+	t.Helper()
+	if a.Text != b.Text {
+		t.Errorf("%s: Result.Text differs:\n--- a ---\n%s\n--- b ---\n%s", what, a.Text, b.Text)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("%s: series count %d vs %d", what, len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		if a.Series[i].Name != b.Series[i].Name {
+			t.Errorf("%s: series %d name %q vs %q", what, i, a.Series[i].Name, b.Series[i].Name)
+			continue
+		}
+		if !reflect.DeepEqual(a.Series[i].Points, b.Series[i].Points) {
+			t.Errorf("%s: series %q points diverge", what, a.Series[i].Name)
+		}
+	}
+	if !reflect.DeepEqual(a.Notes, b.Notes) {
+		t.Errorf("%s: notes differ:\n%v\n%v", what, a.Notes, b.Notes)
+	}
+}

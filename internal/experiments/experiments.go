@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/stats"
 )
 
@@ -21,10 +22,24 @@ type Config struct {
 	// Scale multiplies repetition counts and durations; 1.0 reproduces
 	// the published defaults, smaller values give quick smoke runs.
 	Scale float64
+	// Jobs bounds the worker pool used for trial fan-out; 0 (the zero
+	// value) selects one worker per CPU. Results are byte-identical for
+	// every value of Jobs: all per-trial randomness is derived by
+	// splitting the root RNG at the trial index, never by sharing a
+	// sequentially-advanced stream across trials.
+	Jobs int
 }
 
 // DefaultConfig is the configuration cmd/figures uses.
 func DefaultConfig() Config { return Config{Seed: 2014, Scale: 1} }
+
+// jobs returns the effective worker count for trial fan-out.
+func (c Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return parallel.DefaultJobs()
+}
 
 // scaleInt scales a repetition count, keeping at least min.
 func (c Config) scaleInt(n, min int) int {

@@ -10,6 +10,15 @@ import (
 // quickCfg keeps test runtime reasonable while preserving shapes.
 func quickCfg() Config { return Config{Seed: 99, Scale: 0.35} }
 
+// skipIfShort gates the simulation-heavy shape tests (multi-second even
+// at quickCfg scale) so `go test -short ./...` stays fast.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping slow experiment test in -short mode")
+	}
+}
+
 func seriesByName(t *testing.T, r Result, name string) stats.Series {
 	t.Helper()
 	for _, s := range r.Series {

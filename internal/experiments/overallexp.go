@@ -6,6 +6,7 @@ import (
 	"mobiwlan/internal/aggregation"
 	"mobiwlan/internal/beamforming"
 	"mobiwlan/internal/core"
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/ratecontrol"
 	"mobiwlan/internal/sim"
 	"mobiwlan/internal/stats"
@@ -27,10 +28,18 @@ func Figure13(cfg Config) Result {
 	tests := cfg.scaleInt(9, 3)
 	dur := cfg.scaleDur(30, 15)
 	walks := crossFloorWalks(tests, dur, cfg.rng(1300))
+	type pair struct{ def, aware float64 }
+	pairs := parallel.RunTrials(len(walks), cfg.jobs(), func(i int) pair {
+		scen := walks[i]
+		return pair{
+			def:   sim.RunWLAN(scen, sim.DefaultWLANOptions(false), cfg.Seed+uint64(i)).Mbps,
+			aware: sim.RunWLAN(scen, sim.DefaultWLANOptions(true), cfg.Seed+uint64(i)).Mbps,
+		}
+	})
 	var def, aware []float64
-	for i, scen := range walks {
-		def = append(def, sim.RunWLAN(scen, sim.DefaultWLANOptions(false), cfg.Seed+uint64(i)).Mbps)
-		aware = append(aware, sim.RunWLAN(scen, sim.DefaultWLANOptions(true), cfg.Seed+uint64(i)).Mbps)
+	for _, p := range pairs {
+		def = append(def, p.def)
+		aware = append(aware, p.aware)
 	}
 	series := []stats.Series{
 		stats.CDFSeries("802.11n-default", def, 20),

@@ -64,6 +64,7 @@ func TestFigure8cShape(t *testing.T) {
 }
 
 func TestFigure9aShape(t *testing.T) {
+	skipIfShort(t)
 	r := Figure9a(quickCfg())
 	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "median") {
 		t.Fatal("missing median note")
@@ -81,6 +82,7 @@ func TestFigure9aShape(t *testing.T) {
 }
 
 func TestFigure9bShape(t *testing.T) {
+	skipIfShort(t)
 	r := Figure9b(quickCfg())
 	get := func(name string) float64 { return seriesByName(t, r, name).Points[0].Y }
 	esnr := get("esnr")
@@ -103,6 +105,7 @@ func TestFigure9bShape(t *testing.T) {
 }
 
 func TestFigure10aShape(t *testing.T) {
+	skipIfShort(t)
 	r := Figure10a(quickCfg())
 	static := seriesByName(t, r, "static")
 	macro := seriesByName(t, r, "macro")
@@ -119,6 +122,7 @@ func TestFigure10aShape(t *testing.T) {
 }
 
 func TestFigure10bShape(t *testing.T) {
+	skipIfShort(t)
 	r := Figure10b(quickCfg())
 	adaptive := medianX(seriesByName(t, r, "adaptive"))
 	fixed4 := medianX(seriesByName(t, r, "fixed-4ms"))
@@ -130,6 +134,7 @@ func TestFigure10bShape(t *testing.T) {
 }
 
 func TestFigure11aShape(t *testing.T) {
+	skipIfShort(t)
 	r := Figure11a(quickCfg())
 	static := seriesByName(t, r, "static")
 	macro := seriesByName(t, r, "macro")
@@ -144,6 +149,7 @@ func TestFigure11aShape(t *testing.T) {
 }
 
 func TestFigure11bShape(t *testing.T) {
+	skipIfShort(t)
 	r := Figure11b(quickCfg())
 	if m := medianX(seriesByName(t, r, "gain")); m < 0 {
 		t.Errorf("median motion-aware TxBF gain = %.1f%%, want >= 0", m)
@@ -169,6 +175,7 @@ func TestFigure12aShape(t *testing.T) {
 }
 
 func TestFigure12bShape(t *testing.T) {
+	skipIfShort(t)
 	r := Figure12b(quickCfg())
 	if m := medianX(seriesByName(t, r, "overall")); m < 0 {
 		t.Errorf("overall MU-MIMO gain median = %.1f%%, want >= 0", m)
@@ -182,6 +189,7 @@ func TestFigure12bShape(t *testing.T) {
 }
 
 func TestFigure13Shape(t *testing.T) {
+	skipIfShort(t)
 	r := Figure13(quickCfg())
 	def := medianX(seriesByName(t, r, "802.11n-default"))
 	aware := medianX(seriesByName(t, r, "motion-aware"))

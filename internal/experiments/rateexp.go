@@ -7,6 +7,7 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/phy"
 	"mobiwlan/internal/ratecontrol"
 	"mobiwlan/internal/sim"
@@ -57,21 +58,23 @@ func Figure8a(cfg Config) Result {
 	}
 	for vi, v := range variants {
 		rng := cfg.rng(uint64(vi) + 800)
-		var holds []float64
-		for r := 0; r < runs; r++ {
-			scen := variantScene(v, r, dur, rng.Split(uint64(r)))
-			trace := oracleMCSTrace(scen, cfg.Seed+uint64(vi)*100+uint64(r), step, 8)
-			holdStart := 0.0
-			for i := 1; i < len(trace); i++ {
-				if trace[i].Y != trace[i-1].Y {
-					holds = append(holds, (trace[i].X-holdStart)*1000)
-					holdStart = trace[i].X
+		holds := parallel.Flatten(
+			parallel.RunTrials(runs, cfg.jobs(), func(r int) []float64 {
+				scen := variantScene(v, r, dur, rng.Split(uint64(r)))
+				trace := oracleMCSTrace(scen, cfg.Seed+uint64(vi)*100+uint64(r), step, 8)
+				var out []float64
+				holdStart := 0.0
+				for i := 1; i < len(trace); i++ {
+					if trace[i].Y != trace[i-1].Y {
+						out = append(out, (trace[i].X-holdStart)*1000)
+						holdStart = trace[i].X
+					}
 				}
-			}
-			if len(trace) > 0 {
-				holds = append(holds, (trace[len(trace)-1].X-holdStart)*1000)
-			}
-		}
+				if len(trace) > 0 {
+					out = append(out, (trace[len(trace)-1].X-holdStart)*1000)
+				}
+				return out
+			}))
 		medians[v.name] = stats.Median(holds)
 		series = append(series, stats.CDFSeries(v.name, holds, 25))
 	}
@@ -97,10 +100,12 @@ func Figure8b(cfg Config) Result {
 	mcfg.Duration = dur
 	toward := mobility.NewMacroScenario(mobility.HeadingToward, mcfg, cfg.rng(810))
 	away := mobility.NewMacroScenario(mobility.HeadingAway, mcfg, cfg.rng(811))
-	series := []stats.Series{
-		{Name: "moving-toward", Points: oracleMCSTrace(toward, cfg.Seed+810, 0.25, 8)},
-		{Name: "moving-away", Points: oracleMCSTrace(away, cfg.Seed+811, 0.25, 8)},
-	}
+	series := parallel.RunTrials(2, cfg.jobs(), func(i int) stats.Series {
+		if i == 0 {
+			return stats.Series{Name: "moving-toward", Points: oracleMCSTrace(toward, cfg.Seed+810, 0.25, 8)}
+		}
+		return stats.Series{Name: "moving-away", Points: oracleMCSTrace(away, cfg.Seed+811, 0.25, 8)}
+	})
 	res := Result{
 		ID:     "fig8b",
 		Title:  "Figure 8(b): optimal MCS index over time under macro-mobility",
@@ -124,10 +129,12 @@ func Figure8c(cfg Config) Result {
 	mcfg.Duration = dur
 	env := mobility.NewScenario(mobility.Environmental, mcfg, cfg.rng(820))
 	micro := mobility.NewScenario(mobility.Micro, mcfg, cfg.rng(821))
-	series := []stats.Series{
-		{Name: "environmental", Points: oracleMCSTrace(env, cfg.Seed+820, 0.25, -4)},
-		{Name: "micro", Points: oracleMCSTrace(micro, cfg.Seed+821, 0.25, -4)},
-	}
+	series := parallel.RunTrials(2, cfg.jobs(), func(i int) stats.Series {
+		if i == 0 {
+			return stats.Series{Name: "environmental", Points: oracleMCSTrace(env, cfg.Seed+820, 0.25, -4)}
+		}
+		return stats.Series{Name: "micro", Points: oracleMCSTrace(micro, cfg.Seed+821, 0.25, -4)}
+	})
 	res := Result{
 		ID:     "fig8c",
 		Title:  "Figure 8(c): optimal MCS index over time under environmental / micro mobility",
@@ -165,21 +172,23 @@ func Figure9a(cfg Config) Result {
 	links := cfg.scaleInt(15, 4)
 	dur := cfg.scaleDur(20, 10)
 	rng := cfg.rng(900)
-	var stockPts, awarePts []stats.Point
-	var stockAll, awareAll []float64
-	for l := 0; l < links; l++ {
+	type pair struct{ stock, aware float64 }
+	pairs := parallel.RunTrials(links, cfg.jobs(), func(l int) pair {
 		scen := mixedMobilityScenario(l, dur, rng.Split(uint64(l)))
 		runOne := func(opt sim.LinkOptions) float64 {
 			opt.Source = transport.NewTCPReno(1500)
 			isolateRA(&opt)
 			return sim.RunLink(scen, opt, cfg.Seed+uint64(l)).Mbps
 		}
-		stock := runOne(sim.DefaultLinkOptions())
-		aware := runOne(sim.MotionAwareLinkOptions())
-		stockPts = append(stockPts, stats.Point{X: float64(l), Y: stock})
-		awarePts = append(awarePts, stats.Point{X: float64(l), Y: aware})
-		stockAll = append(stockAll, stock)
-		awareAll = append(awareAll, aware)
+		return pair{stock: runOne(sim.DefaultLinkOptions()), aware: runOne(sim.MotionAwareLinkOptions())}
+	})
+	var stockPts, awarePts []stats.Point
+	var stockAll, awareAll []float64
+	for l, p := range pairs {
+		stockPts = append(stockPts, stats.Point{X: float64(l), Y: p.stock})
+		awarePts = append(awarePts, stats.Point{X: float64(l), Y: p.aware})
+		stockAll = append(stockAll, p.stock)
+		awareAll = append(awareAll, p.aware)
 	}
 	series := []stats.Series{
 		{Name: "atheros", Points: stockPts},
@@ -250,13 +259,12 @@ func Figure9b(cfg Config) Result {
 	means := map[string]float64{}
 	var series []stats.Series
 	for _, sc := range cases {
-		var all []float64
-		for w := 0; w < walks; w++ {
+		all := parallel.RunTrials(walks, cfg.jobs(), func(w int) float64 {
 			scen := mixedMobilityScenario(w, dur, rng.Split(uint64(w)))
 			opt := sc.mk(scen)
 			isolateRA(&opt)
-			all = append(all, sim.RunLink(scen, opt, cfg.Seed+uint64(w)).Mbps)
-		}
+			return sim.RunLink(scen, opt, cfg.Seed+uint64(w)).Mbps
+		})
 		means[sc.name] = stats.Mean(all)
 		series = append(series, stats.Series{Name: sc.name,
 			Points: []stats.Point{{X: 0, Y: stats.Mean(all)}}})

@@ -6,6 +6,7 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/phy"
 	"mobiwlan/internal/roaming"
 	"mobiwlan/internal/stats"
@@ -138,29 +139,30 @@ func Figure7a(cfg Config) Result {
 	medians := map[string]float64{}
 	for vi, v := range fiveVariants {
 		rng := cfg.rng(uint64(vi) + 700)
-		var gains []float64
-		for r := 0; r < runs; r++ {
-			// The client is associated with its anchor AP; heading is
-			// relative to it (the paper's premise).
-			scen, cur := fig7aScene(v, plan, r, dur, rng.Split(uint64(r)))
-			links := make([]*channel.Model, len(plan.APs))
-			for i, ap := range plan.APs {
-				links[i] = channel.NewAt(plan.Channel, ap, scen, rng.Split(uint64(r)*100+uint64(i)+1))
-			}
-			var stick, dynamic float64
-			for t := 0.0; t < dur; t += 0.5 {
-				tputs := make([]float64, len(links))
-				for i, l := range links {
-					tputs[i] = roaming.ExpectedThroughput(
-						phy.EffectiveSNRdB(l.Response(t), l.SNRdB(t)), maxStreams)
+		gains := parallel.Flatten(
+			parallel.RunTrials(runs, cfg.jobs(), func(r int) []float64 {
+				// The client is associated with its anchor AP; heading is
+				// relative to it (the paper's premise).
+				scen, cur := fig7aScene(v, plan, r, dur, rng.Split(uint64(r)))
+				links := make([]*channel.Model, len(plan.APs))
+				for i, ap := range plan.APs {
+					links[i] = channel.NewAt(plan.Channel, ap, scen, rng.Split(uint64(r)*100+uint64(i)+1))
 				}
-				stick += tputs[cur]
-				dynamic += stats.Max(tputs)
-			}
-			if stick > 0 {
-				gains = append(gains, 100*(dynamic-stick)/stick)
-			}
-		}
+				var stick, dynamic float64
+				for t := 0.0; t < dur; t += 0.5 {
+					tputs := make([]float64, len(links))
+					for i, l := range links {
+						tputs[i] = roaming.ExpectedThroughput(
+							phy.EffectiveSNRdB(l.Response(t), l.SNRdB(t)), maxStreams)
+					}
+					stick += tputs[cur]
+					dynamic += stats.Max(tputs)
+				}
+				if stick > 0 {
+					return []float64{100 * (dynamic - stick) / stick}
+				}
+				return nil
+			}))
 		medians[v.name] = stats.Median(gains)
 		series = append(series, stats.CDFSeries(v.name, gains, 25))
 	}
@@ -225,11 +227,9 @@ func Figure7b(cfg Config) Result {
 	var series []stats.Series
 	medians := map[string]float64{}
 	for _, pc := range cases {
-		var mbps []float64
-		for r, scen := range walks {
-			res := runner.Run(scen, pc.mk(), cfg.Seed+uint64(r))
-			mbps = append(mbps, res.Mbps)
-		}
+		mbps := parallel.RunTrials(len(walks), cfg.jobs(), func(r int) float64 {
+			return runner.Run(walks[r], pc.mk(), cfg.Seed+uint64(r)).Mbps
+		})
 		medians[pc.name] = stats.Median(mbps)
 		series = append(series, stats.CDFSeries(pc.name, mbps, 25))
 	}

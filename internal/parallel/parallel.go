@@ -1,0 +1,77 @@
+// Package parallel provides the deterministic fan-out primitive behind the
+// experiment suite: a bounded worker pool that runs independent trials
+// concurrently and returns their results in index order.
+//
+// Determinism contract: a trial function must derive ALL of its randomness
+// from its trial index (e.g. stats.NewRNG(seed).Split(trialIndex)) and must
+// not mutate state shared with other trials. Under that contract the results
+// of RunTrials are byte-identical regardless of the worker count or the
+// scheduling order, so jobs=1 and jobs=NumCPU regenerate the same tables
+// and figures.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultJobs returns the default worker count: one per available CPU.
+func DefaultJobs() int { return runtime.NumCPU() }
+
+// RunTrials runs fn(0), fn(1), ..., fn(n-1) on up to jobs concurrent
+// workers and returns the n results in index order. jobs <= 0 selects
+// DefaultJobs(). fn must follow the package determinism contract; it is
+// called exactly once per index, from at most jobs goroutines at a time.
+func RunTrials[T any](n, jobs int, fn func(trial int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if jobs <= 0 {
+		jobs = DefaultJobs()
+	}
+	if jobs > n {
+		jobs = n
+	}
+	out := make([]T, n)
+	if jobs == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	// Work-stealing by atomic counter: workers pull the next unclaimed
+	// index, so slow trials don't stall a statically-partitioned shard.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Flatten concatenates per-trial result slices in trial order — the shape
+// most experiment loops produce (each trial contributes zero or more
+// samples, and downstream statistics consume one flat slice).
+func Flatten[T any](parts [][]T) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mobiwlan/internal/stats"
+)
+
+func TestRunTrialsOrdered(t *testing.T) {
+	for _, jobs := range []int{1, 2, 4, 8, 33} {
+		got := RunTrials(100, jobs, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunTrialsCallsEachOnce(t *testing.T) {
+	const n = 257
+	var calls [n]atomic.Int32
+	RunTrials(n, 7, func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("trial %d called %d times", i, c)
+		}
+	}
+}
+
+func TestRunTrialsEmptyAndDefaults(t *testing.T) {
+	if got := RunTrials(0, 4, func(int) int { return 1 }); got != nil {
+		t.Fatalf("n=0: got %v, want nil", got)
+	}
+	if got := RunTrials(-3, 4, func(int) int { return 1 }); got != nil {
+		t.Fatalf("n<0: got %v, want nil", got)
+	}
+	// jobs <= 0 selects the CPU-count default and still works.
+	got := RunTrials(5, 0, func(i int) int { return i })
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("jobs=0: got %v", got)
+	}
+	if DefaultJobs() < 1 {
+		t.Fatalf("DefaultJobs() = %d", DefaultJobs())
+	}
+}
+
+// TestRunTrialsDeterministicRNG exercises the package's determinism
+// contract end to end: trials that derive their RNG by splitting a shared
+// root at their index produce identical streams at any worker count.
+func TestRunTrialsDeterministicRNG(t *testing.T) {
+	run := func(jobs int) []float64 {
+		root := stats.NewRNG(2014)
+		return RunTrials(64, jobs, func(i int) float64 {
+			rng := root.Split(uint64(i))
+			s := 0.0
+			for k := 0; k < 100; k++ {
+				s += rng.Float64()
+			}
+			return s
+		})
+	}
+	want := run(1)
+	for _, jobs := range []int{2, 3, 8, 64} {
+		if got := run(jobs); !reflect.DeepEqual(got, want) {
+			t.Fatalf("jobs=%d diverged from serial run", jobs)
+		}
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	got := Flatten([][]int{{1, 2}, nil, {3}, {}, {4, 5, 6}})
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := Flatten[int](nil); len(got) != 0 {
+		t.Fatalf("nil input: got %v", got)
+	}
+}

@@ -273,6 +273,9 @@ func TestRunHookIsCalled(t *testing.T) {
 }
 
 func TestMobilityAwareBeatsStockUnderMobility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	// The paper's headline §4 result, in miniature: on walking links the
 	// motion-aware parameters should outperform (or at least match) stock
 	// Atheros. Averaged over several seeds to damp variance.

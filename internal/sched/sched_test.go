@@ -100,6 +100,9 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestMobilityAwareBeatsFairOnCellTotal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	// Draining the away-walker early should lift total cell throughput
 	// versus strict airtime fairness, averaged over seeds.
 	var fair, aware []float64

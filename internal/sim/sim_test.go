@@ -101,6 +101,9 @@ func crossFloorWalk(seed uint64, duration float64) *mobility.Scenario {
 }
 
 func TestRunWLANBothStacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	scen := crossFloorWalk(1, 20)
 	def := RunWLAN(scen, DefaultWLANOptions(false), 21)
 	aware := RunWLAN(scen, DefaultWLANOptions(true), 21)
@@ -112,6 +115,9 @@ func TestRunWLANBothStacks(t *testing.T) {
 }
 
 func TestRunWLANDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	scen := crossFloorWalk(2, 10)
 	a := RunWLAN(scen, DefaultWLANOptions(true), 5)
 	b := RunWLAN(scen, DefaultWLANOptions(true), 5)
@@ -121,6 +127,9 @@ func TestRunWLANDeterministic(t *testing.T) {
 }
 
 func TestRunWLANMotionAwareAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	// The paper's §7 headline: the combined mobility-aware stack should
 	// outperform the oblivious default on walks through the floor.
 	var def, aware []float64
@@ -148,6 +157,9 @@ func TestRunLinkGoodputNeverExceedsPHYRate(t *testing.T) {
 }
 
 func TestRunWLANScanCostsThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	// A pathological roaming policy that scans constantly must lose
 	// throughput relative to never scanning.
 	scen := crossFloorWalk(9, 12)

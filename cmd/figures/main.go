@@ -99,17 +99,12 @@ func writeCSV(dir string, res experiments.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, res.ID+".csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	fmt.Fprintf(f, "series,%s,value\n", res.XLabel)
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,value\n", res.XLabel)
 	for _, s := range res.Series {
 		for _, p := range s.Points {
-			fmt.Fprintf(f, "%s,%g,%g\n", s.Name, p.X, p.Y)
+			fmt.Fprintf(&b, "%s,%g,%g\n", s.Name, p.X, p.Y)
 		}
 	}
-	return nil
+	return os.WriteFile(filepath.Join(dir, res.ID+".csv"), []byte(b.String()), 0o644)
 }

@@ -1,0 +1,63 @@
+// Command mobilint is the repo's static-analysis gate: it enforces the
+// determinism, concurrency and error-hygiene contracts documented in
+// DESIGN.md ("Enforced invariants") on every package in the module.
+//
+// Usage:
+//
+//	go run ./cmd/mobilint ./...          # lint the whole module
+//	go run ./cmd/mobilint internal/sim   # lint one package
+//	go run ./cmd/mobilint -list          # show the checks
+//	go run ./cmd/mobilint -checks map-order,time-now ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or analysis error.
+// Suppress an individual finding with a justified directive on the
+// same line or the line above:
+//
+//	//lint:ignore <check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mobiwlan/internal/lint"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	list := flag.Bool("list", false, "list registered checks and exit")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mobilint [-list] [-checks c1,c2] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks {
+			fmt.Printf("%-16s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	cfg := lint.Config{Dir: ".", Patterns: flag.Args()}
+	if *checks != "" {
+		cfg.Checks = strings.Split(*checks, ",")
+	}
+	findings, err := lint.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mobilint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

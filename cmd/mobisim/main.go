@@ -63,6 +63,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mobisim <classify|link|wlan|roam|subf|mumimo|sched> [flags]")
 }
 
+// parseArgs parses args into fs. Every subcommand FlagSet uses
+// flag.ExitOnError, so Parse exits on bad input and its error result
+// is always nil.
+func parseArgs(fs *flag.FlagSet, args []string) {
+	_ = fs.Parse(args)
+}
+
 // parseMode maps a CLI mode name to scenario construction inputs.
 func buildScenario(mode string, duration float64, seed uint64) (*mobility.Scenario, error) {
 	cfg := mobility.DefaultSceneConfig()
@@ -93,7 +100,7 @@ func cmdClassify(args []string) {
 	mode := fs.String("mode", "macro", "ground-truth scenario mode")
 	duration := fs.Float64("duration", 30, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
-	fs.Parse(args)
+	parseArgs(fs, args)
 
 	scen, err := buildScenario(*mode, *duration, *seed)
 	if err != nil {
@@ -119,7 +126,7 @@ func cmdLink(args []string) {
 	aware := fs.Bool("motion-aware", false, "use the mobility-aware stack")
 	traffic := fs.String("traffic", "udp", "udp|tcp|cbr:<Mbps>")
 	power := fs.Float64("power", channel.DefaultConfig().TxPowerDBm, "AP transmit power (dBm)")
-	fs.Parse(args)
+	parseArgs(fs, args)
 
 	scen, err := buildScenario(*mode, *duration, *seed)
 	if err != nil {
@@ -162,7 +169,7 @@ func cmdWLAN(args []string) {
 	fs := flag.NewFlagSet("wlan", flag.ExitOnError)
 	duration := fs.Float64("duration", 30, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
-	fs.Parse(args)
+	parseArgs(fs, args)
 
 	cfg := mobility.DefaultSceneConfig()
 	cfg.Duration = *duration
@@ -186,7 +193,7 @@ func cmdRoam(args []string) {
 	fs := flag.NewFlagSet("roam", flag.ExitOnError)
 	duration := fs.Float64("duration", 40, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
-	fs.Parse(args)
+	parseArgs(fs, args)
 
 	cfg := mobility.DefaultSceneConfig()
 	cfg.Duration = *duration
@@ -210,7 +217,7 @@ func cmdSUBF(args []string) {
 	duration := fs.Float64("duration", 10, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	period := fs.Float64("period", 20, "CSI feedback period (ms); 0 = mobility-adaptive")
-	fs.Parse(args)
+	parseArgs(fs, args)
 
 	scen, err := buildScenario(*mode, *duration+6, *seed)
 	if err != nil {
@@ -250,7 +257,7 @@ func cmdMUMIMO(args []string) {
 	duration := fs.Float64("duration", 8, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	period := fs.Float64("period", 20, "common CSI feedback period (ms); 0 = per-client adaptive")
-	fs.Parse(args)
+	parseArgs(fs, args)
 
 	modes := []mobility.Mode{mobility.Environmental, mobility.Micro, mobility.Macro}
 	users := make([]beamforming.MUUser, 3)
@@ -297,7 +304,7 @@ func cmdSched(args []string) {
 	fs := flag.NewFlagSet("sched", flag.ExitOnError)
 	duration := fs.Float64("duration", 14, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
-	fs.Parse(args)
+	parseArgs(fs, args)
 
 	mkClients := func() []sched.Client {
 		mk := func(i int, scen *mobility.Scenario) sched.Client {

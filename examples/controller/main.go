@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mobiwlan/internal/channel"
@@ -100,12 +101,14 @@ func main() {
 					rssi := link.Measure(t).RSSIdBm
 					fmt.Printf("t=%4.1fs  %s reports client %s (%.0f dBm)\n",
 						t, id, cls.State(), rssi)
-					conn.ReportMobility(ctlproto.MobilityReport{
+					if err := conn.ReportMobility(ctlproto.MobilityReport{
 						Client:  clientMAC.String(),
 						State:   cls.State(),
 						Time:    t,
 						RSSIdBm: rssi,
-					})
+					}); err != nil {
+						fmt.Fprintf(os.Stderr, "%s: mobility report: %v\n", id, err)
+					}
 				}
 				// Handle controller messages without blocking the loop.
 				select {
@@ -116,12 +119,14 @@ func main() {
 					switch env.Type {
 					case ctlproto.TypeMeasureRequest:
 						approaching := trend.Trend() == stats.TrendDecreasing
-						conn.ReportMeasurement(ctlproto.MeasureReport{
+						if err := conn.ReportMeasurement(ctlproto.MeasureReport{
 							Client:      clientMAC.String(),
 							RSSIdBm:     link.Measure(t).RSSIdBm,
 							Approaching: approaching,
 							Time:        t,
-						})
+						}); err != nil {
+							fmt.Fprintf(os.Stderr, "%s: measure report: %v\n", id, err)
+						}
 						fmt.Printf("t=%4.1fs  %s measured client: %.0f dBm, approaching=%v\n",
 							t, id, link.Measure(t).RSSIdBm, approaching)
 					case ctlproto.TypeRoamDirective:

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"sort"
 	"sync"
 )
 
@@ -67,14 +68,16 @@ func (s *Server) Close() error {
 	// blocked in ReadMsg and deadlock the Wait below.
 	s.mu.Lock()
 	for conn := range s.conns {
-		conn.Close()
+		_ = conn.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
 
-// APs returns the currently registered AP IDs.
+// APs returns the currently registered AP IDs, sorted. The order
+// feeds MeasureRequest fan-out and the coordinator's expected-report
+// count, so it must not inherit Go's randomized map iteration order.
 func (s *Server) APs() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -82,6 +85,7 @@ func (s *Server) APs() []string {
 	for id := range s.aps {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -105,7 +109,7 @@ func (s *Server) acceptLoop() {
 			}
 		}
 		if !s.track(conn) {
-			conn.Close() // raced with Close: shut the conn down ourselves
+			_ = conn.Close() // raced with Close: shut the conn down ourselves
 			return
 		}
 		s.wg.Add(1)
@@ -131,7 +135,7 @@ func (s *Server) track(conn net.Conn) bool {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -234,7 +238,7 @@ func Dial(addr, apID string) (*APConn, error) {
 	}
 	a := &APConn{ID: apID, conn: conn, Inbound: make(chan Envelope, 16)}
 	if err := WriteMsg(conn, TypeHello, Hello{APID: apID}); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	go a.readLoop()

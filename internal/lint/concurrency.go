@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Concurrency-discipline checks: sync primitives must be shared by
+// pointer, and goroutines in the controller-protocol and worker-pool
+// packages must not capture shared connections without
+// synchronization.
+
+// syncLockTypes / atomicLockTypes are the sync and sync/atomic types
+// whose value semantics break when copied.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Cond": true, "Pool": true, "Map": true,
+}
+
+var atomicLockTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// containsLock reports whether a value of type t embeds sync state
+// that must not be copied.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if syncLockTypes[obj.Name()] {
+					return true
+				}
+			case "sync/atomic":
+				if atomicLockTypes[obj.Name()] {
+					return true
+				}
+			}
+		}
+		return containsLockRec(n.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// typeName renders t relative to the package being linted.
+func typeName(ctx *Context, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(ctx.Pkg.Types))
+}
+
+var lockParamCheck = &Check{
+	Name: "lock-param",
+	Doc:  "functions must take and return sync-bearing types by pointer; a by-value signature copies the lock on every call",
+	Run: func(ctx *Context) {
+		for _, file := range ctx.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Recv != nil {
+						checkLockFields(ctx, n.Recv, "receiver")
+					}
+					checkLockFields(ctx, n.Type.Params, "parameter")
+					checkLockFields(ctx, n.Type.Results, "result")
+				case *ast.FuncLit:
+					checkLockFields(ctx, n.Type.Params, "parameter")
+					checkLockFields(ctx, n.Type.Results, "result")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkLockFields flags non-pointer fields of a signature field list
+// whose types carry sync state.
+func checkLockFields(ctx *Context, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := ctx.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			ctx.Reportf(field.Type.Pos(), "%s passes %s by value, copying its lock state; use *%s", kind, typeName(ctx, t), typeName(ctx, t))
+		}
+	}
+}
+
+var lockCopyCheck = &Check{
+	Name: "lock-copy",
+	Doc:  "a sync primitive copied by value forks its internal state; share it by pointer",
+	Run: func(ctx *Context) {
+		for _, file := range ctx.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i, rhs := range n.Rhs {
+						// A blank assignment copies nothing observable.
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+						checkLockCopyExpr(ctx, rhs)
+					}
+				case *ast.ValueSpec:
+					for i, v := range n.Values {
+						if len(n.Names) == len(n.Values) && n.Names[i].Name == "_" {
+							continue
+						}
+						checkLockCopyExpr(ctx, v)
+					}
+				case *ast.RangeStmt:
+					if n.Value != nil {
+						if t := ctx.TypeOf(n.Value); t != nil && containsLock(t) {
+							ctx.Reportf(n.Value.Pos(), "range copies %s elements by value, forking their lock state; range over indices or pointers", typeName(ctx, t))
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkLockCopyExpr flags rhs when it reads an existing lock-bearing
+// value by copy. Composite literals and calls construct fresh values
+// and are allowed.
+func checkLockCopyExpr(ctx *Context, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := ctx.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsLock(t) {
+		ctx.Reportf(rhs.Pos(), "assignment copies %s by value, forking its lock state; share it with a pointer", typeName(ctx, t))
+	}
+}
+
+var goCaptureCheck = &Check{
+	Name: "go-capture",
+	Doc:  "goroutines in protocol/worker packages must not capture a shared conn/session; pass it as an argument or guard it with a mutex",
+	Run: func(ctx *Context) {
+		if !ctx.InConcurrency() {
+			return
+		}
+		netConn := lookupNetConn(ctx.Pkg.Types)
+		for _, file := range ctx.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				reported := map[*types.Var]bool{}
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj, ok := ctx.Pkg.Info.Uses[id].(*types.Var)
+					if !ok || obj.IsField() || reported[obj] {
+						return true
+					}
+					if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+						return true // declared inside the literal
+					}
+					if connLike(obj.Type(), netConn) {
+						reported[obj] = true
+						ctx.Reportf(id.Pos(), "goroutine captures shared %s %q without synchronization; pass it as a call argument or guard it behind a mutex-bearing session", typeName(ctx, obj.Type()), obj.Name())
+					}
+					return true
+				})
+				return true
+			})
+		}
+	},
+}
+
+// lookupNetConn finds the net.Conn interface via the package's
+// (direct) imports, or nil if net is not imported.
+func lookupNetConn(pkg *types.Package) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net" {
+			continue
+		}
+		obj := imp.Scope().Lookup("Conn")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+// connLike reports whether t is a network connection, or a session
+// struct holding one WITHOUT any lock of its own. A session type that
+// bundles its conn with a sync primitive is taken to be internally
+// synchronized and is allowed.
+func connLike(t types.Type, netConn *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if isNetConn(t, netConn) {
+		return true
+	}
+	base := t
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	st, ok := base.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	if containsLock(base) {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isNetConn(st.Field(i).Type(), netConn) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNetConn reports whether t is (or implements) net.Conn.
+func isNetConn(t types.Type, netConn *types.Interface) bool {
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "net" && obj.Name() == "Conn" {
+			return true
+		}
+	}
+	if netConn == nil {
+		return false
+	}
+	if types.Implements(t, netConn) {
+		return true
+	}
+	if _, isIface := t.Underlying().(*types.Interface); !isIface {
+		if types.Implements(types.NewPointer(t), netConn) {
+			return true
+		}
+	}
+	return false
+}

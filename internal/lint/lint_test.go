@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureBase is the import-path prefix of the fixture packages.
+const fixtureBase = "mobiwlan/internal/lint/testdata/src/"
+
+// fixtureConfig classifies the fixture packages the way the default
+// config classifies the real tree: determ and clean are "simulation"
+// packages, gocap is a "protocol" package, rngok plays internal/stats.
+func fixtureConfig(dir string) Config {
+	return Config{
+		Dir:      filepath.Join("testdata", "src", dir),
+		Patterns: []string{"."},
+		DeterminismPkgs: []string{
+			fixtureBase + "determ",
+			fixtureBase + "clean",
+		},
+		ConcurrencyPkgs: []string{fixtureBase + "gocap"},
+		RNGAllowedPkgs:  []string{fixtureBase + "rngok"},
+	}
+}
+
+var wantRe = regexp.MustCompile(`// want ([a-z0-9-]+(?: [a-z0-9-]+)*)\s*$`)
+
+// wantMarkers reads the "// want check1 check2" markers from every
+// fixture file, keyed by "file:line".
+func wantMarkers(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	want := map[string][]string{}
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(root, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			want[key] = append(want[key], strings.Fields(m[1])...)
+			sort.Strings(want[key])
+		}
+	}
+	return want
+}
+
+// gotFindings groups findings by "file:line" with sorted check names.
+func gotFindings(findings []Finding) map[string][]string {
+	got := map[string][]string{}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		got[key] = append(got[key], f.Check)
+		sort.Strings(got[key])
+	}
+	return got
+}
+
+// TestFixtures runs every check against each fixture package and
+// compares the findings with the // want markers in the sources.
+func TestFixtures(t *testing.T) {
+	for _, dir := range []string{"determ", "rngbad", "rngok", "locks", "gocap", "errs", "clean"} {
+		t.Run(dir, func(t *testing.T) {
+			findings, err := Run(fixtureConfig(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := wantMarkers(t, dir)
+			got := gotFindings(findings)
+			for key, checks := range want {
+				if !reflect.DeepEqual(got[key], checks) {
+					t.Errorf("%s: want findings %v, got %v", key, checks, got[key])
+				}
+			}
+			for key, checks := range got {
+				if want[key] == nil {
+					t.Errorf("%s: unexpected findings %v", key, checks)
+				}
+			}
+		})
+	}
+}
+
+// TestFixturesFailTheGate pins the acceptance property: the bad
+// fixture packages produce a non-empty finding list with file:line
+// positions, i.e. mobilint would exit non-zero on them.
+func TestFixturesFailTheGate(t *testing.T) {
+	for _, dir := range []string{"determ", "rngbad", "locks", "gocap", "errs", "badignore"} {
+		findings, err := Run(fixtureConfig(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) == 0 {
+			t.Errorf("%s: want findings, got none", dir)
+			continue
+		}
+		for _, f := range findings {
+			if f.Pos.Filename == "" || f.Pos.Line <= 0 {
+				t.Errorf("%s: finding without file:line: %+v", dir, f)
+			}
+			s := f.String()
+			if !strings.Contains(s, ".go:") || !strings.Contains(s, "["+f.Check+"]") {
+				t.Errorf("%s: unrenderable finding %q", dir, s)
+			}
+		}
+	}
+}
+
+// TestBadIgnore checks that malformed or unknown-check directives are
+// reported and do not suppress the findings they sit next to.
+func TestBadIgnore(t *testing.T) {
+	findings, err := Run(fixtureConfig("badignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, f := range findings {
+		count[f.Check]++
+	}
+	if count[badIgnoreCheck] != 2 {
+		t.Errorf("want 2 bad-ignore findings, got %d (%v)", count[badIgnoreCheck], findings)
+	}
+	if count["discarded-error"] != 2 {
+		t.Errorf("malformed directives must not suppress: want 2 discarded-error findings, got %d", count["discarded-error"])
+	}
+}
+
+// TestCheckSubset runs a single named check and expects only its
+// findings.
+func TestCheckSubset(t *testing.T) {
+	cfg := fixtureConfig("determ")
+	cfg.Checks = []string{"time-now"}
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("want time-now findings, got none")
+	}
+	for _, f := range findings {
+		if f.Check != "time-now" {
+			t.Errorf("subset run leaked check %s: %s", f.Check, f)
+		}
+	}
+}
+
+// TestUnknownCheck rejects config typos instead of silently running
+// nothing.
+func TestUnknownCheck(t *testing.T) {
+	cfg := fixtureConfig("determ")
+	cfg.Checks = []string{"no-such-check"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("want error for unknown check name")
+	}
+}
+
+// TestCheckNamesUniqueAndDocumented guards the registry invariants
+// the suppression syntax and -list output rely on.
+func TestCheckNamesUniqueAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Checks {
+		if c.Name == "" || c.Doc == "" || c.Run == nil {
+			t.Errorf("check %+v incomplete", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate check name %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Name != strings.ToLower(c.Name) || strings.ContainsAny(c.Name, " \t") {
+			t.Errorf("check name %q not a lowercase token", c.Name)
+		}
+	}
+	if seen[badIgnoreCheck] {
+		t.Errorf("%s is reserved for the directive parser", badIgnoreCheck)
+	}
+}
+
+// TestModuleIsClean is the gate itself: the real tree must lint clean.
+// Skipped in -short mode; CI runs the gate as a separate step.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; covered by the CI mobilint step")
+	}
+	findings, err := Run(Config{Dir: "../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,18 @@
+// Package badignore exercises malformed suppression directives: they
+// are findings themselves (bad-ignore) and suppress nothing, so each
+// function below yields two findings.
+package badignore
+
+func work() error { return nil }
+
+// MissingReason has a directive with no justification.
+func MissingReason() {
+	//lint:ignore discarded-error
+	work()
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck() {
+	//lint:ignore no-such-check a typo must not silently disable the gate
+	work()
+}

@@ -1,0 +1,40 @@
+// Package clean contains only contract-conforming code; mobilint must
+// report nothing here even with every check enabled.
+package clean
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a guarded name table.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: map[string]int{}}
+}
+
+// Names returns the sorted keys: map order never escapes.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe wraps failures with %w.
+func Describe(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("registry: %w", err)
+}

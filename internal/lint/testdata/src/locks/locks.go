@@ -1,0 +1,67 @@
+// Package locks exercises the lock-copy and lock-param checks.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guarded bundles a mutex with the data it protects.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LockByValue receives a copy of the caller's mutex: locking it
+// synchronizes nothing.
+func LockByValue(mu sync.Mutex) { // want lock-param
+	mu.Lock()
+}
+
+// GuardByValue copies the receiver (and its mutex) on every call.
+func (g Guarded) GuardByValue() int { // want lock-param
+	return g.n
+}
+
+// WaitGroupResult hands out a WaitGroup by value.
+func WaitGroupResult() sync.WaitGroup { // want lock-param
+	var wg sync.WaitGroup
+	return wg
+}
+
+// CopyMutex duplicates lock state through assignments.
+func CopyMutex() int {
+	var a sync.Mutex
+	b := a // want lock-copy
+	b.Lock()
+	g := &Guarded{n: 1}
+	h := *g // want lock-copy
+	return h.n
+}
+
+// CopyAtomic copies an atomic counter, forking its value.
+func CopyAtomic(c *atomic.Int64) int64 {
+	v := *c // want lock-copy
+	return v.Load()
+}
+
+// RangeCopies iterates lock-bearing elements by value.
+func RangeCopies(gs []Guarded) int {
+	t := 0
+	for _, g := range gs { // want lock-copy
+		t += g.n
+	}
+	return t
+}
+
+// SharePointer is the correct shape: locks travel by pointer.
+func SharePointer(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// FreshValue constructs a new guarded value in place: allowed.
+func FreshValue() *Guarded {
+	g := Guarded{}
+	return &g
+}

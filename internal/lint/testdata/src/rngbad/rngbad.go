@@ -1,0 +1,10 @@
+// Package rngbad constructs random generators outside internal/stats,
+// hiding a second seed from the experiment Config.
+package rngbad
+
+import "math/rand"
+
+// Source builds a private generator stream.
+func Source(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want unseeded-rng unseeded-rng
+}

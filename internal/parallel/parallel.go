@@ -23,6 +23,11 @@ func DefaultJobs() int { return runtime.NumCPU() }
 // workers and returns the n results in index order. jobs <= 0 selects
 // DefaultJobs(). fn must follow the package determinism contract; it is
 // called exactly once per index, from at most jobs goroutines at a time.
+//
+// If a trial panics, the panic propagates out of RunTrials on the
+// caller's goroutine (with the first panic value when several trials
+// panic) after the remaining workers have drained — it never kills
+// the process from inside a worker and never deadlocks.
 func RunTrials[T any](n, jobs int, fn func(trial int) T) []T {
 	if n <= 0 {
 		return nil
@@ -42,12 +47,24 @@ func RunTrials[T any](n, jobs int, fn func(trial int) T) []T {
 	}
 	// Work-stealing by atomic counter: workers pull the next unclaimed
 	// index, so slow trials don't stall a statically-partitioned shard.
+	//
+	// A panicking trial must not kill the process from a worker
+	// goroutine: the first panic value is captured, the remaining
+	// workers drain, and RunTrials re-panics on the caller's
+	// goroutine (wg.Wait orders the capture before the re-panic).
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -58,6 +75,9 @@ func RunTrials[T any](n, jobs int, fn func(trial int) T) []T {
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 	return out
 }
 

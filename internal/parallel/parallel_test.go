@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mobiwlan/internal/stats"
 )
@@ -70,6 +71,93 @@ func TestRunTrialsDeterministicRNG(t *testing.T) {
 		if got := run(jobs); !reflect.DeepEqual(got, want) {
 			t.Fatalf("jobs=%d diverged from serial run", jobs)
 		}
+	}
+}
+
+// TestRunTrialsJobsExceedTrials pins the jobs-clamping edge: more
+// workers than trials must still call each index exactly once and
+// keep index order.
+func TestRunTrialsJobsExceedTrials(t *testing.T) {
+	const n = 3
+	var calls [n]atomic.Int32
+	got := RunTrials(n, 100, func(i int) int {
+		calls[i].Add(1)
+		return i + 1
+	})
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("jobs=100, n=3: got %v", got)
+	}
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("trial %d called %d times", i, c)
+		}
+	}
+}
+
+// TestRunTrialsZeroTrials covers trials == 0 for every jobs shape.
+func TestRunTrialsZeroTrials(t *testing.T) {
+	for _, jobs := range []int{-1, 0, 1, 8} {
+		if got := RunTrials(0, jobs, func(int) int {
+			t.Fatal("fn called for n=0")
+			return 0
+		}); got != nil {
+			t.Fatalf("n=0 jobs=%d: got %v, want nil", jobs, got)
+		}
+	}
+}
+
+// TestRunTrialsNegativeJobs covers jobs <= 0 normalization beyond the
+// zero value: any non-positive jobs selects the default worker count.
+func TestRunTrialsNegativeJobs(t *testing.T) {
+	for _, jobs := range []int{0, -1, -100} {
+		got := RunTrials(5, jobs, func(i int) int { return i * 2 })
+		if !reflect.DeepEqual(got, []int{0, 2, 4, 6, 8}) {
+			t.Fatalf("jobs=%d: got %v", jobs, got)
+		}
+	}
+}
+
+// TestRunTrialsPanicPropagates requires a panicking trial to surface
+// on the caller's goroutine — at every worker count, without killing
+// the process and without deadlocking on the remaining trials.
+func TestRunTrialsPanicPropagates(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 64} {
+		done := make(chan any, 1)
+		go func() {
+			defer func() { done <- recover() }()
+			RunTrials(32, jobs, func(i int) int {
+				if i == 7 {
+					panic("trial 7 exploded")
+				}
+				return i
+			})
+		}()
+		select {
+		case r := <-done:
+			if r != "trial 7 exploded" {
+				t.Fatalf("jobs=%d: recovered %v, want trial panic", jobs, r)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("jobs=%d: RunTrials deadlocked after worker panic", jobs)
+		}
+	}
+}
+
+// TestRunTrialsAllPanic drains cleanly even when every trial panics
+// (each worker dies on its first pull).
+func TestRunTrialsAllPanic(t *testing.T) {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		RunTrials(16, 4, func(i int) int { panic(i) })
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("want a propagated panic value, got nil")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunTrials deadlocked when all trials panic")
 	}
 }
 

@@ -58,8 +58,22 @@ func FromSample(s channel.Sample) Record {
 	return rec
 }
 
-// Matrix reconstructs the CSI matrix from the record.
+// maxDim bounds each CSI dimension of a decoded record. Real CSI is
+// at most a few hundred subcarriers by a handful of antennas; the
+// bound keeps the dimension product overflow-free so a hostile trace
+// (negative or huge dims whose product wraps around to match a short
+// CSI slice) is rejected instead of panicking in csi.NewMatrix.
+const maxDim = 1 << 16
+
+// Matrix reconstructs the CSI matrix from the record. It validates
+// the dimensions: traces come from files, not just from FromSample.
 func (r Record) Matrix() (*csi.Matrix, error) {
+	for _, d := range []int{r.Subcarriers, r.NTx, r.NRx} {
+		if d <= 0 || d > maxDim {
+			return nil, fmt.Errorf("traceio: record at t=%v has invalid CSI dimensions %dx%dx%d",
+				r.Time, r.Subcarriers, r.NTx, r.NRx)
+		}
+	}
 	want := 2 * r.Subcarriers * r.NTx * r.NRx
 	if len(r.CSI) != want {
 		return nil, fmt.Errorf("traceio: record at t=%v has %d CSI values, want %d",

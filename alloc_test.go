@@ -1,0 +1,117 @@
+// Allocation regression tests: the PHY hot path — channel response /
+// measurement, CSI similarity, and the streaming classifier — must be
+// allocation-free in steady state once its reusable buffers have warmed
+// up. These tests pin that contract with testing.AllocsPerRun so a future
+// change that reintroduces per-sample garbage fails loudly rather than
+// showing up as a slow drift in the benchmarks.
+package mobiwlan
+
+import (
+	"testing"
+
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+)
+
+func allocScenario(t *testing.T, mode mobility.Mode) *channel.Model {
+	t.Helper()
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 600
+	scen := mobility.NewScenario(mode, cfg, stats.NewRNG(7))
+	return channel.New(channel.DefaultConfig(), scen, stats.NewRNG(8))
+}
+
+func TestResponseIntoAllocFree(t *testing.T) {
+	ch := allocScenario(t, mobility.Macro)
+	var h *csi.Matrix
+	h = ch.ResponseInto(0, h) // warm up the buffer
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		h = ch.ResponseInto(float64(i)*0.01, h)
+	})
+	if allocs != 0 {
+		t.Fatalf("ResponseInto with warm buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestMeasureIntoAllocFree(t *testing.T) {
+	ch := allocScenario(t, mobility.Macro)
+	var h *csi.Matrix
+	s := ch.MeasureInto(0, h)
+	h = s.CSI
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		s := ch.MeasureInto(float64(i)*0.01, h)
+		h = s.CSI
+	})
+	if allocs != 0 {
+		t.Fatalf("MeasureInto with warm buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestWorkspaceSimilarityAllocFree(t *testing.T) {
+	ch := allocScenario(t, mobility.Micro)
+	m1 := ch.Measure(0).CSI
+	m2 := ch.Measure(0.05).CSI
+	var ws csi.Workspace
+	ws.Similarity(m1, m2) // warm up the amplitude scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.Similarity(m1, m2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Workspace.Similarity with warm scratch: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestClassifierObserveAllocFree pins the full streaming classifier: after
+// the internal prevCSI copy, similarity workspace, ToF median scratch, and
+// trend window have warmed up, neither ObserveCSI nor ObserveToF (including
+// the per-second median flush) may allocate.
+func TestClassifierObserveAllocFree(t *testing.T) {
+	ch := allocScenario(t, mobility.Macro)
+	cls := core.New(core.DefaultConfig())
+	var h *csi.Matrix
+
+	// Warm up: enough CSI samples to fill the similarity window and enter
+	// device mobility (starting ToF collection), then enough ToF seconds to
+	// size the median scratch and fill the trend window.
+	tt := 0.0
+	for i := 0; i < 64; i++ {
+		s := ch.MeasureInto(tt, h)
+		h = s.CSI
+		cls.ObserveCSI(tt, s.CSI)
+		tt += 0.05
+	}
+	for i := 0; i < 400; i++ {
+		if cls.ToFActive() {
+			cls.ObserveToF(tt, ch.Distance(tt)*10)
+		}
+		tt += 0.02
+	}
+
+	allocsCSI := testing.AllocsPerRun(100, func() {
+		s := ch.MeasureInto(tt, h)
+		h = s.CSI
+		cls.ObserveCSI(tt, s.CSI)
+		tt += 0.05
+	})
+	if allocsCSI != 0 {
+		t.Fatalf("ObserveCSI steady state: %v allocs/op, want 0", allocsCSI)
+	}
+
+	if !cls.ToFActive() {
+		t.Fatal("classifier should be collecting ToF under macro mobility")
+	}
+	allocsToF := testing.AllocsPerRun(100, func() {
+		cls.ObserveToF(tt, ch.Distance(tt)*10)
+		tt += 0.02
+	})
+	if allocsToF != 0 {
+		t.Fatalf("ObserveToF steady state (incl. median flushes): %v allocs/op, want 0", allocsToF)
+	}
+}

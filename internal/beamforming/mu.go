@@ -114,6 +114,10 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 	}
 
 	ests := make([]*csi.Matrix, n)
+	// Reused buffers: one raw-measurement scratch shared by all users'
+	// soundings (each user keeps its own quantized estimate in ests), and
+	// one true-channel scratch for the per-frame SINR evaluation.
+	var mBuf, truthBuf *csi.Matrix
 	lastFB := make([]float64, n)
 	for i := range lastFB {
 		lastFB[i] = -1e9
@@ -133,8 +137,9 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 				state = usr.StateAt(t)
 			}
 			if t-lastFB[u] >= usr.Sched.Period(state) {
-				m := usr.Chan.Measure(t)
-				ests[u] = m.CSI.Quantize(cfg.FeedbackBits)
+				m := usr.Chan.MeasureInto(t, mBuf)
+				mBuf = m.CSI
+				ests[u] = m.CSI.QuantizeInto(ests[u], cfg.FeedbackBits)
 				fb := phy.FeedbackAirtime(timing, reportBits(ests[u], cfg.FeedbackBits, cfg.Grouping))
 				fbTime += fb
 				t += fb
@@ -152,7 +157,8 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 
 		// One simultaneous MU frame.
 		for u, usr := range users {
-			truth := usr.Chan.Response(t)
+			truthBuf = usr.Chan.ResponseInto(t, truthBuf)
+			truth := truthBuf
 			scale := math.Sqrt(truth.AvgPower())
 			snrLin := math.Pow(10, usr.Chan.SNRdB(t)/10) / float64(n) // equal power split
 			var capSum float64

@@ -119,7 +119,9 @@ func RunSU(ch *channel.Model, sched FeedbackScheduler, stateAt func(t float64) c
 	var res SUResult
 	var bits, fbTime float64
 
-	var est *csi.Matrix
+	// Reused buffers: the raw measurement, the quantized feedback estimate,
+	// and the true channel used to score each precoded frame.
+	var mBuf, est, truthBuf *csi.Matrix
 	rate := ladder[0]
 	lastFB := -1e9
 	t := 0.0
@@ -132,8 +134,9 @@ func RunSU(ch *channel.Model, sched FeedbackScheduler, stateAt func(t float64) c
 		if t-lastFB >= period {
 			// Sounding exchange: the client measures and feeds back
 			// quantized CSI.
-			m := ch.Measure(t)
-			est = m.CSI.Quantize(cfg.FeedbackBits)
+			m := ch.MeasureInto(t, mBuf)
+			mBuf = m.CSI
+			est = m.CSI.QuantizeInto(est, cfg.FeedbackBits)
 			fb := phy.FeedbackAirtime(timing, reportBits(est, cfg.FeedbackBits, cfg.Grouping))
 			fbTime += fb
 			t += fb
@@ -144,7 +147,8 @@ func RunSU(ch *channel.Model, sched FeedbackScheduler, stateAt func(t float64) c
 			// rate is held until the next feedback (which is exactly why
 			// stale CSI turns into packet loss rather than a graceful
 			// rate downshift).
-			bfSNR := phy.BeamformedSNRdB(ch.Response(t), est, ch.SNRdB(t))
+			truthBuf = ch.ResponseInto(t, truthBuf)
+			bfSNR := phy.BeamformedSNRdB(truthBuf, est, ch.SNRdB(t))
 			rate = ladder[0]
 			for _, m := range ladder {
 				if bfSNR-cfg.RateMarginDB >= phy.RequiredSNRdB(m) {
@@ -154,8 +158,8 @@ func RunSU(ch *channel.Model, sched FeedbackScheduler, stateAt func(t float64) c
 			continue
 		}
 		// Data frame precoded with the (aging) estimate at the held rate.
-		truth := ch.Response(t)
-		bfSNR := phy.BeamformedSNRdB(truth, est, ch.SNRdB(t))
+		truthBuf = ch.ResponseInto(t, truthBuf)
+		bfSNR := phy.BeamformedSNRdB(truthBuf, est, ch.SNRdB(t))
 		per := phy.PER(rate, bfSNR, cfg.MPDUBytes)
 		bits += rate.RateMbps(phy.Width40, true) * 1e6 * cfg.FrameTime * (1 - per)
 		t += cfg.FrameTime

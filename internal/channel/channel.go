@@ -121,6 +121,11 @@ type Sample struct {
 // Model is the channel between one AP and one client for a given scenario.
 // It is deterministic: the same scenario, config and seed produce the same
 // sample stream.
+//
+// A Model is NOT safe for concurrent use: Measure advances the noise RNG,
+// and the hot-path methods reuse per-model scratch. Parallel trials must
+// build one Model each (as internal/parallel's RNG-split contract already
+// requires).
 type Model struct {
 	cfg    Config
 	ap     geom.Point
@@ -131,6 +136,36 @@ type Model struct {
 	apAnts     []geom.Vector // antenna offsets from the AP position
 	clientAnts []geom.Vector // antenna offsets from the client position
 	subFreqs   []float64     // absolute subcarrier frequencies
+
+	// losGain is the effective line-of-sight gain: Config.LoSGain with the
+	// zero-value-Config fallback applied once at construction instead of
+	// per Response call.
+	losGain float64
+	// f0 and df are the first subcarrier frequency and the per-subcarrier
+	// increment, hoisted from the response loop.
+	f0, df float64
+
+	// paths is per-call scratch for the response computation (LoS plus one
+	// bounce per scatterer), reused across calls so the steady-state hot
+	// path does not allocate.
+	paths []path
+	// contribs and rots are the per-path phasor accumulators and rotation
+	// steps for one antenna pair. Keeping all paths' phasor chains in
+	// flight at once (advanced together per subcarrier) turns the
+	// latency-bound serial rotation into independent chains without
+	// changing a single floating-point operation or its order.
+	contribs, rots []complex128
+	// rssiScratch backs MeanRSSI/SNRdB, which need a response matrix but
+	// expose only scalars derived from it.
+	rssiScratch *csi.Matrix
+}
+
+// path is one propagation path: the line of sight or a single bounce via a
+// scatterer position.
+type path struct {
+	gain   float64 // amplitude
+	via    geom.Point
+	bounce bool
 }
 
 // New builds a channel model between the scenario's AP and client.
@@ -163,6 +198,20 @@ func NewAt(cfg Config, ap geom.Point, scen *mobility.Scenario, rng *stats.RNG) *
 		frac := (float64(i) - float64(cfg.Subcarriers-1)/2) / float64(cfg.Subcarriers)
 		m.subFreqs[i] = cfg.CarrierHz + frac*cfg.BandwidthHz
 	}
+	m.losGain = cfg.LoSGain
+	if m.losGain == 0 && cfg.PathLossExponent == 0 {
+		// Zero-value Config: keep the zero-config behaviour sane. A
+		// deliberate pure-NLOS setup (LoSGain 0 with a configured path-loss
+		// exponent) is left alone.
+		m.losGain = 1
+	}
+	m.f0 = m.subFreqs[0]
+	if len(m.subFreqs) > 1 {
+		m.df = m.subFreqs[1] - m.subFreqs[0]
+	}
+	m.paths = make([]path, 0, 1+len(scen.Scatterers))
+	m.contribs = make([]complex128, 0, 1+len(scen.Scatterers))
+	m.rots = make([]complex128, 0, 1+len(scen.Scatterers))
 	return m
 }
 
@@ -177,42 +226,49 @@ func (m *Model) Distance(t float64) float64 {
 	return m.scen.Client.At(t).Dist(m.ap)
 }
 
-// Response computes the true (noise-free) CSI matrix at time t.
+// Response computes the true (noise-free) CSI matrix at time t into a
+// freshly allocated matrix. Hot paths should prefer ResponseInto with a
+// reused buffer.
 func (m *Model) Response(t float64) *csi.Matrix {
+	return m.ResponseInto(t, nil)
+}
+
+// ResponseInto computes the true (noise-free) CSI matrix at time t into h
+// and returns h. A nil h is replaced by a freshly allocated matrix; a
+// non-nil h must have the model's dimensions and is overwritten in full.
+// Steady-state callers that pass the previous return value back in never
+// allocate. The per-call path scratch lives on the Model, which is why a
+// Model must not be shared between goroutines.
+func (m *Model) ResponseInto(t float64, h *csi.Matrix) *csi.Matrix {
 	client := m.scen.Client.At(t)
-	h := csi.NewMatrix(m.cfg.Subcarriers, m.cfg.NTx, m.cfg.NRx)
+	if h == nil {
+		h = csi.NewMatrix(m.cfg.Subcarriers, m.cfg.NTx, m.cfg.NRx)
+	} else {
+		if h.Subcarriers != m.cfg.Subcarriers || h.NTx != m.cfg.NTx || h.NRx != m.cfg.NRx {
+			panic("channel: ResponseInto buffer has wrong dimensions for this model")
+		}
+		h.Zero()
+	}
 	lambdaScale := m.cfg.Wavelength() / (4 * math.Pi)
 
 	// Gather path endpoints once: LoS plus one bounce per scatterer.
-	type path struct {
-		gain   float64 // amplitude
-		via    geom.Point
-		bounce bool
-	}
-	losGain := m.cfg.LoSGain
-	if losGain == 0 && m.cfg.PathLossExponent == 0 {
-		// Zero-value Config: keep the zero-config behaviour sane.
-		losGain = 1
-	}
-	paths := make([]path, 0, 1+len(m.scen.Scatterers))
-	paths = append(paths, path{gain: losGain})
-	scatterPos := make([]geom.Point, len(m.scen.Scatterers))
-	for i, sc := range m.scen.Scatterers {
-		scatterPos[i] = sc.Traj.At(t)
-		paths = append(paths, path{gain: sc.Reflectivity, via: scatterPos[i], bounce: true})
+	m.paths = m.paths[:0]
+	m.paths = append(m.paths, path{gain: m.losGain})
+	for _, sc := range m.scen.Scatterers {
+		m.paths = append(m.paths, path{gain: sc.Reflectivity, via: sc.Traj.At(t), bounce: true})
 	}
 
-	f0 := m.subFreqs[0]
-	df := 0.0
-	if len(m.subFreqs) > 1 {
-		df = m.subFreqs[1] - m.subFreqs[0]
-	}
-
+	data := h.Data()
+	stride := m.cfg.NTx * m.cfg.NRx
 	for txi, txOff := range m.apAnts {
 		txPos := m.ap.Add(txOff)
 		for rxi, rxOff := range m.clientAnts {
 			rxPos := client.Add(rxOff)
-			for _, p := range paths {
+			// Phase at the first subcarrier, then rotate by a constant
+			// per-subcarrier increment (avoids a sincos per subcarrier).
+			m.contribs = m.contribs[:0]
+			m.rots = m.rots[:0]
+			for _, p := range m.paths {
 				var length float64
 				if p.bounce {
 					length = txPos.Dist(p.via) + p.via.Dist(rxPos)
@@ -227,15 +283,25 @@ func (m *Model) Response(t float64) *csi.Matrix {
 				if bp := m.cfg.PathLossBreakM; bp > 0 && length > bp && m.cfg.PathLossExponent > 2 {
 					amp *= math.Pow(bp/length, (m.cfg.PathLossExponent-2)/2)
 				}
-				// Phase at the first subcarrier, then rotate by a constant
-				// per-subcarrier increment (avoids a sincos per subcarrier).
-				base := cmplx.Rect(amp, -2*math.Pi*f0*length/SpeedOfLight)
-				rot := cmplx.Rect(1, -2*math.Pi*df*length/SpeedOfLight)
-				contrib := base
-				for sc := 0; sc < m.cfg.Subcarriers; sc++ {
-					h.Set(sc, txi, rxi, h.At(sc, txi, rxi)+contrib)
-					contrib *= rot
+				m.contribs = append(m.contribs, cmplx.Rect(amp, -2*math.Pi*m.f0*length/SpeedOfLight))
+				m.rots = append(m.rots, cmplx.Rect(1, -2*math.Pi*m.df*length/SpeedOfLight))
+			}
+			// Advance every path's phasor chain together, one subcarrier
+			// per step. The per-path multiply sequence and the per-entry
+			// path-order summation are identical to rotating each path
+			// independently, so the result is bit-for-bit the same — but
+			// the chains are now independent across paths, so the FPU
+			// pipelines them instead of stalling on one chain's latency.
+			contribs, rots := m.contribs, m.rots
+			idx := txi*m.cfg.NRx + rxi
+			for sc := 0; sc < m.cfg.Subcarriers; sc++ {
+				sum := complex(0, 0)
+				for pi := range contribs {
+					sum += contribs[pi]
+					contribs[pi] *= rots[pi]
 				}
+				data[idx] = sum
+				idx += stride
 			}
 		}
 	}
@@ -246,20 +312,27 @@ func (m *Model) Response(t float64) *csi.Matrix {
 	return h
 }
 
-// Measure returns a noisy PHY observation at time t: the CSI estimate with
-// per-subcarrier complex estimation noise, plus quantized noisy RSSI.
+// Measure returns a noisy PHY observation at time t with a freshly
+// allocated CSI matrix. Hot paths should prefer MeasureInto with a reused
+// buffer.
 func (m *Model) Measure(t float64) Sample {
-	h := m.Response(t)
-	// Estimation noise relative to the channel's RMS amplitude.
+	return m.MeasureInto(t, nil)
+}
+
+// MeasureInto is Measure writing the CSI estimate into the caller-owned
+// buffer h (nil allocates; see ResponseInto for the reuse contract). The
+// returned Sample's CSI field is h, so it remains valid only until the
+// caller reuses the buffer.
+func (m *Model) MeasureInto(t float64, h *csi.Matrix) Sample {
+	h = m.ResponseInto(t, h)
+	// Estimation noise relative to the channel's RMS amplitude. The noise
+	// entries are drawn in storage order (sc, tx, rx), which linear
+	// iteration over the backing array preserves.
 	rms := math.Sqrt(h.AvgPower())
 	sigma := rms * math.Pow(10, -m.cfg.CSINoiseSNRdB/20) / math.Sqrt2
-	for sc := 0; sc < h.Subcarriers; sc++ {
-		for tx := 0; tx < h.NTx; tx++ {
-			for rx := 0; rx < h.NRx; rx++ {
-				n := complex(m.noise.Gaussian(0, sigma), m.noise.Gaussian(0, sigma))
-				h.Set(sc, tx, rx, h.At(sc, tx, rx)+n)
-			}
-		}
+	data := h.Data()
+	for i := range data {
+		data[i] += complex(m.noise.Gaussian(0, sigma), m.noise.Gaussian(0, sigma))
 	}
 	rssi := m.rssiFrom(h)
 	return Sample{
@@ -288,8 +361,8 @@ func (m *Model) rssiFrom(h *csi.Matrix) float64 {
 // MeanRSSI returns the expected (noise-free, unquantized) RSSI at time t —
 // the quantity roaming policies estimate by averaging reports.
 func (m *Model) MeanRSSI(t float64) float64 {
-	h := m.Response(t)
-	p := h.AvgPower()
+	m.rssiScratch = m.ResponseInto(t, m.rssiScratch)
+	p := m.rssiScratch.AvgPower()
 	if p <= 0 {
 		return -120
 	}

@@ -284,3 +284,53 @@ func BenchmarkMeasure(b *testing.B) {
 		_ = m.Measure(float64(i%1000) * 0.02)
 	}
 }
+
+// TestZeroValueConfigKeepsLoSPath pins the zero-value-Config behaviour that
+// used to be patched up inside every Response call and is now resolved once
+// in NewAt: a Config{} with dimensions but no LoSGain and no
+// PathLossExponent gets the implicit unit LoS gain, while an explicit
+// pure-NLOS setup (LoSGain 0 with a real path-loss exponent) stays dark.
+func TestZeroValueConfigKeepsLoSPath(t *testing.T) {
+	scfg := mobility.DefaultSceneConfig()
+	scfg.StaticScatterers = 0
+	scfg.MovingScatterers = 0
+	scen := mobility.NewScenario(mobility.Static, scfg, stats.NewRNG(9))
+	scen.Scatterers = nil // drop the implicit wall reflectors: LoS only
+
+	zero := Config{Subcarriers: 8, NTx: 2, NRx: 1, CarrierHz: 5.825e9, BandwidthHz: 40e6}
+	h := New(zero, scen, stats.NewRNG(10)).Response(0)
+	if h.AvgPower() == 0 {
+		t.Fatal("zero-value Config should imply a unit-gain LoS path, got an all-zero response")
+	}
+
+	nlos := zero
+	nlos.PathLossExponent = 3.5
+	if h := New(nlos, scen, stats.NewRNG(10)).Response(0); h.AvgPower() != 0 {
+		t.Fatalf("explicit pure-NLOS config (no scatterers) should have zero response, got power %v", h.AvgPower())
+	}
+}
+
+// TestResponseIntoMatchesResponse pins the buffer-reuse contract: passing a
+// warm buffer back in reproduces the fresh-allocation result bit-for-bit,
+// and a wrong-shaped buffer panics rather than silently reallocating.
+func TestResponseIntoMatchesResponse(t *testing.T) {
+	m := model(mobility.Macro, 31)
+	var buf *csi.Matrix
+	for i := 0; i < 5; i++ {
+		tt := float64(i) * 0.37
+		want := m.Response(tt)
+		buf = m.ResponseInto(tt, buf)
+		wd, bd := want.Data(), buf.Data()
+		for k := range wd {
+			if wd[k] != bd[k] {
+				t.Fatalf("t=%v entry %d: fresh %v vs reused %v", tt, k, wd[k], bd[k])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResponseInto with a wrong-shaped buffer should panic")
+		}
+	}()
+	m.ResponseInto(0, csi.NewMatrix(1, 1, 1))
+}

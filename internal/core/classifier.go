@@ -175,10 +175,15 @@ func StateFor(m mobility.Mode, h mobility.Heading) State {
 type Classifier struct {
 	cfg Config
 
+	// prevCSI is a classifier-owned copy of the last snapshot: ObserveCSI
+	// copies the caller's matrix into it (CloneInto), so callers are free
+	// to reuse their measurement buffer between observations.
 	prevCSI *csi.Matrix
-	simWin  *stats.MovingWindow
-	coarse  State // StateStatic / StateEnvironmental / StateMicro placeholder for device mobility
-	hasCSI  bool
+	// ws backs the allocation-free similarity kernel.
+	ws     csi.Workspace
+	simWin *stats.MovingWindow
+	coarse State // StateStatic / StateEnvironmental / StateMicro placeholder for device mobility
+	hasCSI bool
 
 	tofActive        bool
 	tofFilter        stats.MedianFilter
@@ -244,13 +249,15 @@ func (c *Classifier) Config() Config { return c.cfg }
 
 // ObserveCSI feeds one CSI snapshot taken at time t. Snapshots should
 // arrive roughly every Config.CSISamplePeriod; the classifier itself is
-// agnostic to the exact spacing.
+// agnostic to the exact spacing. The classifier copies m into its own
+// buffer, so the caller may reuse m for the next measurement; after the
+// buffers warm up the call is allocation-free.
 func (c *Classifier) ObserveCSI(t float64, m *csi.Matrix) {
 	if c.prevCSI != nil {
-		c.simWin.Push(csi.Similarity(c.prevCSI, m))
+		c.simWin.Push(c.ws.Similarity(c.prevCSI, m))
 		c.hasCSI = true
 	}
-	c.prevCSI = m.Clone()
+	c.prevCSI = m.CloneInto(c.prevCSI)
 	if !c.hasCSI {
 		return
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"mobiwlan/internal/channel"
+	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/stats"
 	"mobiwlan/internal/tof"
@@ -42,6 +43,7 @@ func RunScenario(scen *mobility.Scenario, pc PipelineConfig, seed uint64) []Deci
 	cls := New(pc.Classifier)
 
 	var out []Decision
+	var csiBuf *csi.Matrix // reused measurement buffer; the classifier copies
 	nextCSI, nextToF := 0.0, 0.0
 	csiPeriod := pc.Classifier.CSISamplePeriod
 	if csiPeriod <= 0 {
@@ -67,7 +69,9 @@ func RunScenario(scen *mobility.Scenario, pc PipelineConfig, seed uint64) []Deci
 			nextToF += tofPeriod
 		}
 		if t == nextCSI {
-			cls.ObserveCSI(t, link.Measure(t).CSI)
+			s := link.MeasureInto(t, csiBuf)
+			csiBuf = s.CSI
+			cls.ObserveCSI(t, s.CSI)
 			mode, heading := scen.GroundTruth(t)
 			out = append(out, Decision{
 				Time:  t,

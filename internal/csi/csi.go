@@ -50,9 +50,33 @@ func (m *Matrix) SameShape(o *Matrix) bool {
 
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
-	c := NewMatrix(m.Subcarriers, m.NTx, m.NRx)
-	copy(c.data, m.data)
-	return c
+	return m.CloneInto(nil)
+}
+
+// CloneInto copies m into dst and returns dst. A nil or shape-mismatched
+// dst is replaced by a freshly allocated matrix, so steady-state callers
+// that pass the previous return value back in never allocate:
+//
+//	buf = src.CloneInto(buf)
+func (m *Matrix) CloneInto(dst *Matrix) *Matrix {
+	if dst == nil || !m.SameShape(dst) {
+		dst = NewMatrix(m.Subcarriers, m.NTx, m.NRx)
+	}
+	copy(dst.data, m.data)
+	return dst
+}
+
+// Data returns the backing storage in index order (sc, tx, rx — rx
+// fastest). It aliases the matrix: writes through it are writes to the
+// matrix. The hot-path kernels use it to avoid per-entry index
+// recomputation; everyone else should prefer At/Set.
+func (m *Matrix) Data() []complex128 { return m.data }
+
+// Zero clears every entry in place.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
 }
 
 // Amplitudes returns |H| for every entry, flattened in storage order. The
@@ -125,6 +149,60 @@ func Similarity(a, b *Matrix) float64 {
 	return sab / math.Sqrt(saa*sbb)
 }
 
+// Workspace holds reusable scratch for the hot-path CSI kernels. The zero
+// value is ready to use; buffers grow on first use and are reused after
+// that, so steady-state calls are allocation-free. A Workspace must not be
+// shared between goroutines.
+type Workspace struct {
+	absA, absB []float64
+}
+
+// grow returns a scratch slice of length n backed by buf, reallocating
+// only when the capacity is insufficient.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Similarity is the allocation-free equivalent of the package-level
+// Similarity: it computes each entry's amplitude once into the workspace
+// instead of twice per pass, which both removes the redundant Abs calls
+// (the dominant cost) and keeps the two-pass summation order — and
+// therefore the result — bit-identical to Similarity.
+func (w *Workspace) Similarity(a, b *Matrix) float64 {
+	if a == nil || b == nil || !a.SameShape(b) {
+		return 0
+	}
+	n := len(a.data)
+	w.absA = grow(w.absA, n)
+	w.absB = grow(w.absB, n)
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		aa := cmplx.Abs(a.data[i])
+		ab := cmplx.Abs(b.data[i])
+		w.absA[i] = aa
+		w.absB[i] = ab
+		ma += aa
+		mb += ab
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var sab, saa, sbb float64
+	for i := 0; i < n; i++ {
+		da := w.absA[i] - ma
+		db := w.absB[i] - mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
 // TemporalCorrelation returns the magnitude of the normalized complex inner
 // product of the two snapshots, rho = |<a, b>| / (||a|| ||b||), in [0, 1].
 // This is the correlation that governs equalization/precoding with a stale
@@ -158,6 +236,15 @@ func TemporalCorrelation(a, b *Matrix) float64 {
 // component magnitude — the representation carried by an 802.11 compressed
 // CSI feedback frame (the standard allows up to 8 bits per component).
 func (m *Matrix) Quantize(bits int) *Matrix {
+	return m.QuantizeInto(nil, bits)
+}
+
+// QuantizeInto is Quantize writing into a caller-owned dst, following the
+// CloneInto reuse contract: a nil or shape-mismatched dst is replaced by a
+// fresh matrix, and the (possibly reallocated) dst is returned. dst must
+// not be m itself — the quantization scale is derived from m while dst is
+// being overwritten.
+func (m *Matrix) QuantizeInto(dst *Matrix, bits int) *Matrix {
 	if bits < 1 {
 		bits = 1
 	}
@@ -173,8 +260,12 @@ func (m *Matrix) Quantize(bits int) *Matrix {
 			maxAbs = a
 		}
 	}
-	q := NewMatrix(m.Subcarriers, m.NTx, m.NRx)
+	q := dst
+	if q == nil || !m.SameShape(q) {
+		q = NewMatrix(m.Subcarriers, m.NTx, m.NRx)
+	}
 	if maxAbs == 0 {
+		q.Zero()
 		return q
 	}
 	levels := float64(int(1) << (bits - 1)) // signed range

@@ -1,0 +1,130 @@
+package ctlproto
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobiwlan/internal/core"
+)
+
+// TestSoakManyAPs is the protocol soak: 50 simulated APs hold concurrent
+// connections to one controller for several seconds, each streaming
+// mobility reports for its client while also answering the controller's
+// measure-request fan-out (triggered every time a report says macro-away).
+// The test exists to be run under -race: the server's session map, the
+// coordinator's client state, and every APConn's write mutex are all hit
+// from many goroutines at once. It asserts liveness — every AP keeps
+// reporting to the end, the fan-out actually happens, and at least one
+// roam directive makes the full report → measure → directive round trip.
+func TestSoakManyAPs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const nAPs = 50
+
+	srv, err := NewServer("127.0.0.1:0", NewCoordinator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	aps := make([]*APConn, nAPs)
+	for i := range aps {
+		ap, err := Dial(srv.Addr(), fmt.Sprintf("ap%02d", i))
+		if err != nil {
+			t.Fatalf("dial ap%02d: %v", i, err)
+		}
+		defer ap.Close()
+		aps[i] = ap
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.APs()) < nAPs {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d APs registered", len(srv.APs()), nAPs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var reports, measureReqs, directives atomic.Int64
+	stop := time.Now().Add(4 * time.Second)
+	states := []core.State{
+		core.StateStatic, core.StateMicro, core.StateMacroAway,
+		core.StateEnvironmental, core.StateMacroToward,
+	}
+
+	var reporters, responders sync.WaitGroup
+	for i := range aps {
+		ap := aps[i]
+		idx := i
+
+		// Responder: drain controller-initiated traffic until the
+		// connection closes, answering every measure request.
+		responders.Add(1)
+		go func() {
+			defer responders.Done()
+			for env := range ap.Inbound {
+				switch env.Type {
+				case TypeMeasureRequest:
+					req, err := DecodePayload[MeasureRequest](env)
+					if err != nil {
+						t.Errorf("%s: bad measure request: %v", ap.ID, err)
+						return
+					}
+					measureReqs.Add(1)
+					_ = ap.ReportMeasurement(MeasureReport{
+						Client:      req.Client,
+						RSSIdBm:     -45 - float64(idx%30),
+						Approaching: idx%2 == 0,
+					})
+				case TypeRoamDirective:
+					directives.Add(1)
+				}
+			}
+		}()
+
+		// Reporter: stream this AP's classifier output for its client.
+		reporters.Add(1)
+		go func() {
+			defer reporters.Done()
+			client := fmt.Sprintf("sta%02d", idx)
+			for n := 0; time.Now().Before(stop); n++ {
+				rep := MobilityReport{
+					Client:  client,
+					State:   states[(idx+n)%len(states)],
+					Time:    float64(n) * 0.1,
+					RSSIdBm: -50 - float64((idx+n)%25),
+				}
+				if err := ap.ReportMobility(rep); err != nil {
+					t.Errorf("%s: report %d: %v", ap.ID, n, err)
+					return
+				}
+				reports.Add(1)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	reporters.Wait()
+	// Give in-flight fan-out a moment to land, then drop the connections so
+	// the responder loops see their Inbound channels close.
+	time.Sleep(100 * time.Millisecond)
+	for _, ap := range aps {
+		_ = ap.Close()
+	}
+	responders.Wait()
+
+	t.Logf("soak: %d reports, %d measure requests, %d roam directives",
+		reports.Load(), measureReqs.Load(), directives.Load())
+	if got := reports.Load(); got < nAPs*100 {
+		t.Fatalf("only %d mobility reports sent; the streams stalled", got)
+	}
+	if measureReqs.Load() == 0 {
+		t.Fatal("no measure-request fan-out despite macro-away reports")
+	}
+	if directives.Load() == 0 {
+		t.Fatal("no roam directive completed the round trip")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mobiwlan/internal/beamforming"
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
+	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mac"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/parallel"
@@ -277,9 +278,12 @@ func AblationOrbit(cfg Config) Result {
 		cls := core.NewExtended(core.DefaultConfig(), channel.DefaultConfig().NTx)
 		macro, total = 0, 0
 		nextCSI, nextToF := 0.0, 0.0
+		var csiBuf *csi.Matrix
 		for tt := 0.0; tt < dur; tt += 0.01 {
 			if tt >= nextCSI {
-				cls.ObserveCSI(tt, ch.Measure(tt).CSI)
+				s := ch.MeasureInto(tt, csiBuf)
+				csiBuf = s.CSI
+				cls.ObserveCSI(tt, s.CSI)
 				nextCSI += cls.Config().CSISamplePeriod
 				if tt >= warmup {
 					total++

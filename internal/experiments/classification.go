@@ -56,8 +56,11 @@ func Figure1(cfg Config) Result {
 				ch := channel.New(channel.DefaultConfig(), scen, rng.Split(uint64(r)+1000))
 				// RSSI sampled from ACKs every 100 ms; stddev per 5 s window.
 				var out, window []float64
+				var buf *csi.Matrix
 				for t := 0.0; t < dur; t += 0.1 {
-					window = append(window, ch.Measure(t).RSSIdBm)
+					s := ch.MeasureInto(t, buf)
+					buf = s.CSI
+					window = append(window, s.RSSIdBm)
 					if len(window) == 50 {
 						out = append(out, stats.StdDev(window))
 						window = window[:0]
@@ -88,13 +91,17 @@ func Figure1(cfg Config) Result {
 // sample similarities.
 func similaritySeries(ch *channel.Model, tau, duration float64) []float64 {
 	var out []float64
-	var prev *csi.Matrix
+	var ws csi.Workspace
+	// Ping-pong between two buffers: the previous snapshot must survive one
+	// step so consecutive samples can be compared without copying.
+	var prev, cur *csi.Matrix
 	for t := 0.0; t < duration; t += tau {
-		cur := ch.Measure(t).CSI
+		s := ch.MeasureInto(t, cur)
+		cur = s.CSI
 		if prev != nil {
-			out = append(out, csi.Similarity(prev, cur))
+			out = append(out, ws.Similarity(prev, cur))
 		}
-		prev = cur
+		prev, cur = cur, prev
 	}
 	return out
 }

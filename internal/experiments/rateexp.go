@@ -6,6 +6,7 @@ import (
 	"mobiwlan/internal/aggregation"
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
+	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/phy"
@@ -32,8 +33,9 @@ func oracleMCSTrace(scen *mobility.Scenario, seed uint64, step, txPowerDBm float
 	chCfg.TxPowerDBm = txPowerDBm
 	ch := channel.New(chCfg, scen, stats.NewRNG(seed))
 	var pts []stats.Point
+	var h *csi.Matrix
 	for t := 0.0; t < scen.Duration; t += step {
-		h := ch.Response(t)
+		h = ch.ResponseInto(t, h)
 		eff := phy.EffectiveSNRdB(h, ch.SNRdB(t))
 		m := phy.OptimalMCS(phy.Width40, true, eff, 1500, 2)
 		pts = append(pts, stats.Point{X: t, Y: float64(m.Index)})

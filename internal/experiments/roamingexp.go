@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobiwlan/internal/channel"
+	"mobiwlan/internal/csi"
 	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/parallel"
@@ -149,11 +150,13 @@ func Figure7a(cfg Config) Result {
 					links[i] = channel.NewAt(plan.Channel, ap, scen, rng.Split(uint64(r)*100+uint64(i)+1))
 				}
 				var stick, dynamic float64
+				var h *csi.Matrix
 				for t := 0.0; t < dur; t += 0.5 {
 					tputs := make([]float64, len(links))
 					for i, l := range links {
+						h = l.ResponseInto(t, h)
 						tputs[i] = roaming.ExpectedThroughput(
-							phy.EffectiveSNRdB(l.Response(t), l.SNRdB(t)), maxStreams)
+							phy.EffectiveSNRdB(h, l.SNRdB(t)), maxStreams)
 					}
 					stick += tputs[cur]
 					dynamic += stats.Max(tputs)

@@ -32,6 +32,9 @@ type FrameResult struct {
 	// baselines; the frame-based Atheros algorithm must not read it.
 	EffSNRdB float64
 	// CSI is the receiver's channel estimate at frame start (same caveat).
+	// It aliases the link's reused measurement buffer: the matrix is valid
+	// only until the link's next Transmit call; callers that need to keep
+	// it must Clone it.
 	CSI *csi.Matrix
 }
 
@@ -54,6 +57,10 @@ type Link struct {
 	MPDUBytes int
 
 	rng *stats.RNG
+
+	// Reused channel-matrix buffers for the per-frame measurement and the
+	// channel-aging anchors, so steady-state Transmit calls do not allocate.
+	sampleCSI, h0, hTau *csi.Matrix
 }
 
 // NewLink builds a MAC link over a channel with the paper's PHY settings
@@ -83,7 +90,8 @@ func (l *Link) Transmit(t float64, mcs phy.MCS, nMPDU int) FrameResult {
 	if nMPDU < 1 {
 		nMPDU = 1
 	}
-	sample := l.Chan.Measure(t)
+	sample := l.Chan.MeasureInto(t, l.sampleCSI)
+	l.sampleCSI = sample.CSI
 	effSNR := phy.EffectiveSNRdB(sample.CSI, sample.SNRdB)
 	res := FrameResult{
 		Start:    t,
@@ -97,16 +105,17 @@ func (l *Link) Transmit(t float64, mcs phy.MCS, nMPDU int) FrameResult {
 
 	// Channel aging: correlate the true channel at a few anchor offsets
 	// within the frame and interpolate per subframe.
-	h0 := l.Chan.Response(t)
+	l.h0 = l.Chan.ResponseInto(t, l.h0)
 	const anchors = 5
-	rhoAt := make([]float64, anchors)
+	var rhoAt [anchors]float64
 	for a := 0; a < anchors; a++ {
 		tau := payloadDur * float64(a) / float64(anchors-1)
 		if a == 0 {
 			rhoAt[a] = 1
 			continue
 		}
-		rhoAt[a] = csi.TemporalCorrelation(h0, l.Chan.Response(t+l.Timing.PLCPPreamble+tau))
+		l.hTau = l.Chan.ResponseInto(t+l.Timing.PLCPPreamble+tau, l.hTau)
+		rhoAt[a] = csi.TemporalCorrelation(l.h0, l.hTau)
 	}
 	for k := 0; k < nMPDU; k++ {
 		frac := (float64(k) + 0.5) / float64(nMPDU) * float64(anchors-1)

@@ -9,6 +9,7 @@ package roaming
 import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
+	"mobiwlan/internal/csi"
 	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/phy"
@@ -298,6 +299,9 @@ func (r *Runner) Run(scen *mobility.Scenario, pol Policy, seed uint64) Result {
 
 	var res Result
 	var bits float64
+	// One measurement buffer shared across all AP channels: the classifier
+	// copies, and the RSSI/SNR consumers below do not retain the matrix.
+	var csiBuf *csi.Matrix
 	busyUntil := -1.0 // scanning/handoff gap end
 	scanPending := false
 	nextCSI, nextToF := 0.0, 0.0
@@ -306,7 +310,9 @@ func (r *Runner) Run(scen *mobility.Scenario, pol Policy, seed uint64) Result {
 	for t := 0.0; t < scen.Duration; t += r.TickDt {
 		// Measurement plane (runs regardless of data-plane gaps).
 		for nextCSI <= t {
-			cls.ObserveCSI(nextCSI, links[cur].Measure(nextCSI).CSI)
+			s := links[cur].MeasureInto(nextCSI, csiBuf)
+			csiBuf = s.CSI
+			cls.ObserveCSI(nextCSI, s.CSI)
 			nextCSI += cls.Config().CSISamplePeriod
 		}
 		for nextToF <= t {
@@ -329,16 +335,20 @@ func (r *Runner) Run(scen *mobility.Scenario, pol Policy, seed uint64) Result {
 			}
 		}
 
+		curSample := links[cur].MeasureInto(t, csiBuf)
+		csiBuf = curSample.CSI
 		obs := Observation{
 			T:           t,
 			Cur:         cur,
-			CurRSSI:     links[cur].Measure(t).RSSIdBm,
+			CurRSSI:     curSample.RSSIdBm,
 			InfraRSSI:   make([]float64, nAP),
 			State:       cls.State(),
 			Approaching: make([]bool, nAP),
 		}
 		for i, l := range links {
-			obs.InfraRSSI[i] = l.Measure(t).RSSIdBm
+			s := l.MeasureInto(t, csiBuf)
+			csiBuf = s.CSI
+			obs.InfraRSSI[i] = s.RSSIdBm
 			obs.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
 		}
 		if scanPending && t >= busyUntil {
@@ -364,7 +374,9 @@ func (r *Runner) Run(scen *mobility.Scenario, pol Policy, seed uint64) Result {
 		// Data plane.
 		tput := 0.0
 		if t >= busyUntil {
-			effSNR := phy.EffectiveSNRdB(links[cur].Measure(t).CSI, links[cur].SNRdB(t))
+			ds := links[cur].MeasureInto(t, csiBuf)
+			csiBuf = ds.CSI
+			effSNR := phy.EffectiveSNRdB(ds.CSI, links[cur].SNRdB(t))
 			tput = ExpectedThroughput(effSNR, maxStreams)
 		}
 		bits += tput * 1e6 * r.TickDt

@@ -9,6 +9,7 @@ import (
 	"mobiwlan/internal/aggregation"
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
+	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mac"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/ratecontrol"
@@ -91,6 +92,7 @@ func RunLink(scen *mobility.Scenario, opt LinkOptions, seed uint64) LinkResult {
 
 	res := LinkResult{StateDurations: map[core.State]float64{}}
 	var bits float64
+	var csiBuf *csi.Matrix // reused measurement buffer; the classifier copies
 	nextCSI, nextToF := 0.0, 0.0
 	csiPeriod := opt.Classifier.CSISamplePeriod
 	if csiPeriod <= 0 {
@@ -108,7 +110,9 @@ func RunLink(scen *mobility.Scenario, opt LinkOptions, seed uint64) LinkResult {
 		// Measurement plane: CSI from client ACKs, ToF from data-ACK
 		// timestamps, at their configured cadences.
 		for nextCSI <= t {
-			cls.ObserveCSI(nextCSI, ch.Measure(nextCSI).CSI)
+			s := ch.MeasureInto(nextCSI, csiBuf)
+			csiBuf = s.CSI
+			cls.ObserveCSI(nextCSI, s.CSI)
 			nextCSI += csiPeriod
 		}
 		for nextToF <= t {

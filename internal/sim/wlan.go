@@ -4,6 +4,7 @@ import (
 	"mobiwlan/internal/aggregation"
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
+	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mac"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/ratecontrol"
@@ -103,6 +104,9 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 
 	var res WLANResult
 	var bits float64
+	// One measurement buffer shared across all AP channels: the classifier
+	// copies and the RSSI reads below only look at scalar fields.
+	var csiBuf *csi.Matrix
 	busyUntil := -1.0
 	scanPending := false
 	nextCSI, nextToF, nextTick, lastFlush := 0.0, 0.0, 0.0, 0.0
@@ -111,7 +115,9 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 
 	for t := 0.0; t < scen.Duration; {
 		for nextCSI <= t {
-			cls.ObserveCSI(nextCSI, links[cur].Chan.Measure(nextCSI).CSI)
+			s := links[cur].Chan.MeasureInto(nextCSI, csiBuf)
+			csiBuf = s.CSI
+			cls.ObserveCSI(nextCSI, s.CSI)
 			nextCSI += cls.Config().CSISamplePeriod
 		}
 		for nextToF <= t {
@@ -135,16 +141,20 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 		// Roaming decisions on the tick boundary.
 		if t >= nextTick {
 			nextTick = t + tick
+			curSample := links[cur].Chan.MeasureInto(t, csiBuf)
+			csiBuf = curSample.CSI
 			obs := roaming.Observation{
 				T:           t,
 				Cur:         cur,
-				CurRSSI:     links[cur].Chan.Measure(t).RSSIdBm,
+				CurRSSI:     curSample.RSSIdBm,
 				InfraRSSI:   make([]float64, nAP),
 				State:       cls.State(),
 				Approaching: make([]bool, nAP),
 			}
 			for i, l := range links {
-				obs.InfraRSSI[i] = l.Chan.Measure(t).RSSIdBm
+				s := l.Chan.MeasureInto(t, csiBuf)
+				csiBuf = s.CSI
+				obs.InfraRSSI[i] = s.RSSIdBm
 				obs.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
 			}
 			if scanPending && t >= busyUntil {

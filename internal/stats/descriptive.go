@@ -75,6 +75,12 @@ func Percentile(xs []float64, p float64) float64 {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// percentileSorted is Percentile over an already sorted, non-empty slice —
+// the allocation-free core shared with MedianFilter's scratch-based flush.
+func percentileSorted(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}

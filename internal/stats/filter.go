@@ -7,7 +7,8 @@ import "sort"
 // (sampled every ~20 ms) through exactly this filter to produce one robust
 // value per second.
 type MedianFilter struct {
-	buf []float64
+	buf     []float64
+	scratch []float64
 }
 
 // Add appends a raw sample to the current bucket.
@@ -18,11 +19,16 @@ func (f *MedianFilter) Len() int { return len(f.buf) }
 
 // Flush computes the median of the buffered samples, resets the bucket, and
 // returns (median, true). If the bucket is empty it returns (0, false).
+// The sort runs on a reused scratch buffer, so a filter flushed at a steady
+// cadence (the classifier's per-second ToF aggregation) stops allocating
+// once its buffers reach the bucket size.
 func (f *MedianFilter) Flush() (float64, bool) {
 	if len(f.buf) == 0 {
 		return 0, false
 	}
-	m := Median(f.buf)
+	f.scratch = append(f.scratch[:0], f.buf...)
+	sort.Float64s(f.scratch)
+	m := percentileSorted(f.scratch, 50)
 	f.buf = f.buf[:0]
 	return m, true
 }

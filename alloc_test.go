@@ -12,7 +12,10 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
+	"mobiwlan/internal/mac"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/obs"
+	"mobiwlan/internal/phy"
 	"mobiwlan/internal/stats"
 )
 
@@ -113,5 +116,75 @@ func TestClassifierObserveAllocFree(t *testing.T) {
 	})
 	if allocsToF != 0 {
 		t.Fatalf("ObserveToF steady state (incl. median flushes): %v allocs/op, want 0", allocsToF)
+	}
+}
+
+// TestInstrumentedClassifierAllocFree repeats the classifier steady-state
+// pin with telemetry enabled: metrics (counters + histograms) and a trace
+// ring must add zero allocations to the hot path, not just "few".
+func TestInstrumentedClassifierAllocFree(t *testing.T) {
+	ch := allocScenario(t, mobility.Macro)
+	scope := obs.NewScope(1024)
+	cls := core.New(core.DefaultConfig())
+	cls.Instrument(core.NewMetrics(scope.Registry()), scope.Tracer(0))
+	var h *csi.Matrix
+
+	tt := 0.0
+	for i := 0; i < 64; i++ {
+		s := ch.MeasureInto(tt, h)
+		h = s.CSI
+		cls.ObserveCSI(tt, s.CSI)
+		tt += 0.05
+	}
+	for i := 0; i < 400; i++ {
+		if cls.ToFActive() {
+			cls.ObserveToF(tt, ch.Distance(tt)*10)
+		}
+		tt += 0.02
+	}
+
+	allocsCSI := testing.AllocsPerRun(100, func() {
+		s := ch.MeasureInto(tt, h)
+		h = s.CSI
+		cls.ObserveCSI(tt, s.CSI)
+		tt += 0.05
+	})
+	if allocsCSI != 0 {
+		t.Fatalf("instrumented ObserveCSI steady state: %v allocs/op, want 0", allocsCSI)
+	}
+	if !cls.ToFActive() {
+		t.Fatal("classifier should be collecting ToF under macro mobility")
+	}
+	allocsToF := testing.AllocsPerRun(100, func() {
+		cls.ObserveToF(tt, ch.Distance(tt)*10)
+		tt += 0.02
+	})
+	if allocsToF != 0 {
+		t.Fatalf("instrumented ObserveToF steady state: %v allocs/op, want 0", allocsToF)
+	}
+	if scope.Reg.Histogram("core.similarity", 1).Count() == 0 {
+		t.Fatal("similarity histogram saw no samples — instrumentation not wired")
+	}
+}
+
+// TestInstrumentedTransmitAllocFree pins the MAC frame path with metrics
+// attached: Transmit must stay allocation-free once the link's channel
+// buffers are warm.
+func TestInstrumentedTransmitAllocFree(t *testing.T) {
+	ch := allocScenario(t, mobility.Macro)
+	link := mac.NewLink(ch, stats.NewRNG(9))
+	link.Met = mac.NewMetrics(obs.NewRegistry())
+	mcs := phy.ByIndex(7)
+	link.Transmit(0, mcs, 16) // warm the sample/h0/hTau buffers
+	tt := 0.01
+	allocs := testing.AllocsPerRun(100, func() {
+		link.Transmit(tt, mcs, 16)
+		tt += 0.01
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Transmit steady state: %v allocs/op, want 0", allocs)
+	}
+	if link.Met == nil {
+		t.Fatal("metrics bundle missing")
 	}
 }

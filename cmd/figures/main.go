@@ -3,6 +3,7 @@
 // Usage:
 //
 //	figures [-id fig2b,table1|all] [-seed N] [-scale S] [-jobs N] [-csv DIR] [-list]
+//	        [-metrics] [-metrics-json FILE] [-metrics-addr ADDR] [-trace FILE]
 //
 // Each experiment prints its rendered table and notes to stdout; -csv
 // additionally writes one CSV file per figure series for plotting.
@@ -13,19 +14,34 @@
 // all per-trial randomness by splitting the root RNG at the trial index,
 // so stdout is byte-identical for every value of N (per-experiment timing
 // goes to stderr, which is the only run-dependent output).
+//
+// Telemetry (docs/OPERATIONS.md): -metrics dumps the metric registry as
+// text to stderr at exit, -metrics-json writes the same registry as JSON
+// to a file, -metrics-addr serves /metrics, /metrics.json and
+// /debug/pprof/ over HTTP while the run is in flight, and -trace writes
+// the merged per-trial event trace as JSONL. All telemetry goes to stderr
+// or files, never stdout, and every dump is byte-identical for any -jobs
+// value (DESIGN.md §9).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"mobiwlan/internal/experiments"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/parallel"
 )
+
+// traceRingCap bounds each trial's in-memory event ring when -trace is
+// set; overflow counts are reported on stderr rather than growing the
+// heap mid-run.
+const traceRingCap = 4096
 
 func main() {
 	var (
@@ -35,6 +51,11 @@ func main() {
 		jobs     = flag.Int("jobs", parallel.DefaultJobs(), "max concurrent workers (trials and experiments)")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV series into")
 		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
+
+		metrics     = flag.Bool("metrics", false, "dump the metric registry as text to stderr at exit")
+		metricsJSON = flag.String("metrics-json", "", "write the metric registry as JSON to this file at exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address during the run")
+		traceOut    = flag.String("trace", "", "write the merged per-trial event trace as JSONL to this file at exit")
 	)
 	flag.Parse()
 
@@ -66,6 +87,26 @@ func main() {
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Jobs: *jobs}
 
+	// Telemetry scope: shared by every experiment of the run. The trace
+	// ring only needs memory when -trace asked for the events.
+	var scope *obs.Scope
+	if *metrics || *metricsJSON != "" || *metricsAddr != "" || *traceOut != "" {
+		cap := 0
+		if *traceOut != "" {
+			cap = traceRingCap
+		}
+		scope = obs.NewScope(cap)
+		cfg.Obs = scope
+	}
+	if *metricsAddr != "" {
+		addr, _, err := obs.Serve(*metricsAddr, scope.Registry())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: serving metrics on http://%s/metrics\n", addr)
+	}
+
 	// Independent experiment IDs run concurrently under the same worker
 	// bound; results are collected and printed in request order so stdout
 	// is identical to a serial run.
@@ -93,6 +134,53 @@ func main() {
 			}
 		}
 	}
+
+	if scope != nil {
+		if err := dumpTelemetry(scope, *metrics, *metricsJSON, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpTelemetry writes the end-of-run metric and trace dumps. Everything
+// lands on stderr or in files so stdout stays byte-identical with
+// telemetry enabled.
+func dumpTelemetry(scope *obs.Scope, text bool, jsonPath, tracePath string) error {
+	if text {
+		if err := scope.Reg.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		if err := writeToFile(jsonPath, scope.Reg.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := writeToFile(tracePath, scope.Trials.WriteJSONL); err != nil {
+			return err
+		}
+		if d := scope.Trials.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr,
+				"figures: trace rings dropped %d events (oldest are overwritten once a trial exceeds %d events)\n",
+				d, traceRingCap)
+		}
+	}
+	return nil
+}
+
+// writeToFile creates path and streams write into it.
+func writeToFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(dir string, res experiments.Result) error {

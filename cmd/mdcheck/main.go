@@ -1,0 +1,211 @@
+// Command mdcheck validates the repo's markdown cross-references: every
+// relative link must point at an existing file, and every anchor
+// (#fragment, in-page or cross-file) must match a heading slug of the
+// target document. External http(s)/mailto links are not fetched — the
+// checker is offline and deterministic, meant as a CI gate over
+// README.md, DESIGN.md, EXPERIMENTS.md, docs/OPERATIONS.md and friends.
+//
+// Usage:
+//
+//	mdcheck FILE.md...
+//
+// Findings print as file:line: message, one per line; the exit status is
+// non-zero when any finding exists. Heading slugs follow the GitHub
+// flavor (lowercase, punctuation stripped, spaces to hyphens, -N
+// suffixes for duplicates), and fenced code blocks plus inline code
+// spans are ignored so example links cannot produce false findings.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck FILE.md...")
+		os.Exit(2)
+	}
+	var findings []string
+	for _, path := range os.Args[1:] {
+		fs, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdcheck:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken reference(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// link is one markdown link occurrence.
+type link struct {
+	line   int
+	target string
+}
+
+var (
+	// inlineLink matches [text](target) including image links; the text
+	// part is non-greedy and the target stops at the first unbalanced ')'.
+	inlineLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)`)
+	// codeSpan matches `inline code`; replaced before link extraction.
+	codeSpan = regexp.MustCompile("`[^`]*`")
+	// headingLine matches an ATX heading and captures its text.
+	headingLine = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+	// slugStrip removes everything GitHub drops from a heading slug.
+	slugStrip = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+)
+
+// stripFences blanks out fenced code blocks, preserving line count so
+// finding positions stay correct.
+func stripFences(lines []string) []string {
+	out := make([]string, len(lines))
+	inFence := false
+	fence := ""
+	for i, l := range lines {
+		trimmed := strings.TrimSpace(l)
+		if !inFence {
+			if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+				inFence = true
+				fence = trimmed[:3]
+				out[i] = ""
+				continue
+			}
+			out[i] = l
+		} else {
+			if strings.HasPrefix(trimmed, fence) {
+				inFence = false
+			}
+			out[i] = ""
+		}
+	}
+	return out
+}
+
+// slugify converts a heading to its GitHub anchor slug (without the -N
+// duplicate suffix; the caller adds those).
+func slugify(heading string) string {
+	// Inline code and links inside headings contribute their text.
+	heading = strings.ReplaceAll(heading, "`", "")
+	heading = inlineLink.ReplaceAllStringFunc(heading, func(m string) string {
+		open := strings.Index(m, "[")
+		close := strings.Index(m, "]")
+		if open >= 0 && close > open {
+			return m[open+1 : close]
+		}
+		return m
+	})
+	s := strings.ToLower(strings.TrimSpace(heading))
+	s = slugStrip.ReplaceAllString(s, "")
+	s = strings.ReplaceAll(s, " ", "-")
+	return s
+}
+
+// anchorsOf extracts the heading anchor set of a markdown document,
+// applying GitHub's -1, -2... duplicate suffixes.
+func anchorsOf(lines []string) map[string]bool {
+	anchors := map[string]bool{}
+	seen := map[string]int{}
+	for _, l := range stripFences(lines) {
+		m := headingLine.FindStringSubmatch(l)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors
+}
+
+// linksOf extracts all inline links outside code, with line numbers.
+func linksOf(lines []string) []link {
+	var out []link
+	for i, l := range stripFences(lines) {
+		l = codeSpan.ReplaceAllString(l, "")
+		for _, m := range inlineLink.FindAllStringSubmatch(l, -1) {
+			out = append(out, link{line: i + 1, target: m[1]})
+		}
+	}
+	return out
+}
+
+// external reports whether target needs a network to verify.
+func external(target string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFile validates every relative link and anchor in one document.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	selfAnchors := anchorsOf(lines)
+	anchorCache := map[string]map[string]bool{}
+
+	var findings []string
+	report := func(line int, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", path, line, fmt.Sprintf(format, args...)))
+	}
+	for _, lk := range linksOf(lines) {
+		t := lk.target
+		if external(t) {
+			continue
+		}
+		if frag, ok := strings.CutPrefix(t, "#"); ok {
+			if !selfAnchors[frag] {
+				report(lk.line, "broken anchor #%s (no matching heading in %s)", frag, filepath.Base(path))
+			}
+			continue
+		}
+		file, frag, _ := strings.Cut(t, "#")
+		dest := filepath.Join(filepath.Dir(path), filepath.FromSlash(file))
+		info, err := os.Stat(dest)
+		if err != nil {
+			report(lk.line, "broken link %s (no such file)", t)
+			continue
+		}
+		if frag == "" {
+			continue
+		}
+		if info.IsDir() || !strings.HasSuffix(dest, ".md") {
+			report(lk.line, "anchor #%s on non-markdown target %s", frag, file)
+			continue
+		}
+		anchors, ok := anchorCache[dest]
+		if !ok {
+			destData, err := os.ReadFile(dest)
+			if err != nil {
+				return nil, err
+			}
+			anchors = anchorsOf(strings.Split(string(destData), "\n"))
+			anchorCache[dest] = anchors
+		}
+		if !anchors[frag] {
+			report(lk.line, "broken anchor %s#%s (no matching heading)", file, frag)
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}

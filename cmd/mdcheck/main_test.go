@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := []struct{ heading, want string }{
+		{"Observability", "observability"},
+		{"9. Observability", "9-observability"},
+		{"Metric & event naming", "metric--event-naming"},
+		{"The `obs.Scope` type", "the-obsscope-type"},
+		{"jobs=1 vs jobs=N", "jobs1-vs-jobsn"},
+		{"Known deviations / limitations", "known-deviations--limitations"},
+		{"With [a link](DESIGN.md) inside", "with-a-link-inside"},
+	}
+	for _, c := range cases {
+		if got := slugify(c.heading); got != c.want {
+			t.Errorf("slugify(%q) = %q, want %q", c.heading, got, c.want)
+		}
+	}
+}
+
+func TestAnchorsDuplicates(t *testing.T) {
+	lines := strings.Split("# Setup\n## Setup\ntext\n## Setup", "\n")
+	a := anchorsOf(lines)
+	for _, want := range []string{"setup", "setup-1", "setup-2"} {
+		if !a[want] {
+			t.Errorf("missing anchor %q in %v", want, a)
+		}
+	}
+}
+
+func TestFencesAndCodeSpansIgnored(t *testing.T) {
+	doc := "# Real\n```\n[fake](missing.md)\n# NotAHeading\n```\nsee `[also fake](nope.md)` here\n[ok](#real)\n"
+	lines := strings.Split(doc, "\n")
+	if a := anchorsOf(lines); a["notaheading"] {
+		t.Error("heading inside code fence leaked into anchors")
+	}
+	links := linksOf(lines)
+	if len(links) != 1 || links[0].target != "#real" {
+		t.Errorf("links = %+v, want only #real", links)
+	}
+}
+
+// writeTree lays out a small doc tree and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCheckFileCleanTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md":      "# Top\nsee [design](docs/DESIGN.md#goals), [self](#top),\nand [ops](docs/OPS.md).\n",
+		"docs/DESIGN.md": "# Goals\nback to [readme](../README.md)\n",
+		"docs/OPS.md":    "# Ops\n[external](https://example.com/x#y) is not fetched\n",
+	})
+	for _, f := range []string{"README.md", "docs/DESIGN.md", "docs/OPS.md"} {
+		findings, err := checkFile(filepath.Join(root, filepath.FromSlash(f)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Errorf("%s: unexpected findings %v", f, findings)
+		}
+	}
+}
+
+func TestCheckFileBrokenRefs(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a.md": "# A\n[gone](missing.md)\n[bad anchor](b.md#nope)\n[bad self](#zzz)\n[ok](b.md#b)\n",
+		"b.md": "# B\n",
+	})
+	findings, err := checkFile(filepath.Join(root, "a.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("want 3 findings, got %d: %v", len(findings), findings)
+	}
+	wantSubstr := []string{"missing.md", "b.md#nope", "#zzz"}
+	for _, sub := range wantSubstr {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, sub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentions %q: %v", sub, findings)
+		}
+	}
+	// Findings carry file:line positions.
+	for _, f := range findings {
+		if !strings.Contains(f, "a.md:") {
+			t.Errorf("finding without position: %q", f)
+		}
+	}
+}
+
+// TestRepoDocsAreClean runs the checker over the repo's own documents —
+// the same set CI gates — so a broken cross-reference fails locally too.
+func TestRepoDocsAreClean(t *testing.T) {
+	docs := []string{
+		"../../README.md",
+		"../../DESIGN.md",
+		"../../EXPERIMENTS.md",
+		"../../ROADMAP.md",
+		"../../docs/OPERATIONS.md",
+	}
+	for _, d := range docs {
+		if _, err := os.Stat(d); err != nil {
+			t.Fatalf("doc %s missing: %v", d, err)
+		}
+		findings, err := checkFile(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

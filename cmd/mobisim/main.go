@@ -10,6 +10,9 @@
 //	subf      - single-user beamforming with a chosen feedback period
 //
 // Every subcommand takes -seed and -duration; see -h of each for more.
+// All subcommands except sched also take the shared telemetry flags
+// (-metrics, -metrics-json, -metrics-addr, -trace) described in
+// docs/OPERATIONS.md; dumps go to stderr or files, never stdout.
 package main
 
 import (
@@ -100,6 +103,7 @@ func cmdClassify(args []string) {
 	mode := fs.String("mode", "macro", "ground-truth scenario mode")
 	duration := fs.Float64("duration", 30, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
+	ofl := addObsFlags(fs)
 	parseArgs(fs, args)
 
 	scen, err := buildScenario(*mode, *duration, *seed)
@@ -107,7 +111,10 @@ func cmdClassify(args []string) {
 		fmt.Fprintln(os.Stderr, "mobisim:", err)
 		os.Exit(2)
 	}
-	decisions := core.RunScenario(scen, core.DefaultPipelineConfig(), *seed+1)
+	pc := core.DefaultPipelineConfig()
+	pc.Obs = ofl.Scope()
+	decisions := core.RunScenario(scen, pc, *seed+1)
+	defer ofl.Finish()
 	var last core.State = -1
 	for _, d := range decisions {
 		if d.State != last {
@@ -126,6 +133,7 @@ func cmdLink(args []string) {
 	aware := fs.Bool("motion-aware", false, "use the mobility-aware stack")
 	traffic := fs.String("traffic", "udp", "udp|tcp|cbr:<Mbps>")
 	power := fs.Float64("power", channel.DefaultConfig().TxPowerDBm, "AP transmit power (dBm)")
+	ofl := addObsFlags(fs)
 	parseArgs(fs, args)
 
 	scen, err := buildScenario(*mode, *duration, *seed)
@@ -138,6 +146,8 @@ func cmdLink(args []string) {
 		opt = sim.MotionAwareLinkOptions()
 	}
 	opt.Channel.TxPowerDBm = *power
+	opt.Obs = ofl.Scope()
+	defer ofl.Finish()
 	switch {
 	case *traffic == "udp":
 		opt.Source = transport.Saturated{}
@@ -169,6 +179,7 @@ func cmdWLAN(args []string) {
 	fs := flag.NewFlagSet("wlan", flag.ExitOnError)
 	duration := fs.Float64("duration", 30, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
+	ofl := addObsFlags(fs)
 	parseArgs(fs, args)
 
 	cfg := mobility.DefaultSceneConfig()
@@ -180,8 +191,13 @@ func cmdWLAN(args []string) {
 		Speed:    1.4,
 		PingPong: true,
 	}
-	def := sim.RunWLAN(scen, sim.DefaultWLANOptions(false), *seed+3)
-	aware := sim.RunWLAN(scen, sim.DefaultWLANOptions(true), *seed+3)
+	optDef := sim.DefaultWLANOptions(false)
+	optDef.Obs, optDef.Trial = ofl.Scope(), 0
+	optAware := sim.DefaultWLANOptions(true)
+	optAware.Obs, optAware.Trial = ofl.Scope(), 1
+	defer ofl.Finish()
+	def := sim.RunWLAN(scen, optDef, *seed+3)
+	aware := sim.RunWLAN(scen, optAware, *seed+3)
 	fmt.Printf("802.11n default: %.1f Mbps (%d handoffs, %d scans)\n", def.Mbps, def.Handoffs, def.Scans)
 	fmt.Printf("motion-aware:    %.1f Mbps (%d handoffs, %d scans)\n", aware.Mbps, aware.Handoffs, aware.Scans)
 	if def.Mbps > 0 {
@@ -193,6 +209,7 @@ func cmdRoam(args []string) {
 	fs := flag.NewFlagSet("roam", flag.ExitOnError)
 	duration := fs.Float64("duration", 40, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
+	ofl := addObsFlags(fs)
 	parseArgs(fs, args)
 
 	cfg := mobility.DefaultSceneConfig()
@@ -202,9 +219,12 @@ func cmdRoam(args []string) {
 	scen.Client = mobility.WaypointWalk{Path: crossFloorPath(), Speed: 1.4, PingPong: true}
 
 	runner := roaming.NewRunner(roaming.DefaultPlan())
-	for _, pol := range []roaming.Policy{
+	runner.Obs = ofl.Scope()
+	defer ofl.Finish()
+	for pi, pol := range []roaming.Policy{
 		roaming.NewDefault80211(), roaming.NewSensorHint(), roaming.NewMobilityAware(),
 	} {
+		runner.Trial = pi
 		res := runner.Run(scen, pol, *seed+9)
 		fmt.Printf("%-16s %.1f Mbps (%d handoffs, %d scans)\n",
 			pol.Name(), res.Mbps, res.Handoffs, res.Scans)
@@ -217,6 +237,7 @@ func cmdSUBF(args []string) {
 	duration := fs.Float64("duration", 10, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	period := fs.Float64("period", 20, "CSI feedback period (ms); 0 = mobility-adaptive")
+	ofl := addObsFlags(fs)
 	parseArgs(fs, args)
 
 	scen, err := buildScenario(*mode, *duration+6, *seed)
@@ -241,7 +262,10 @@ func cmdSUBF(args []string) {
 			return core.StateUnknown
 		}
 	}
-	res := beamforming.RunSU(ch, sched, stateAt, beamforming.DefaultSUConfig(), *duration)
+	suCfg := beamforming.DefaultSUConfig()
+	suCfg.Obs = ofl.Scope()
+	defer ofl.Finish()
+	res := beamforming.RunSU(ch, sched, stateAt, suCfg, *duration)
 	fmt.Printf("SU-BF (%s): %.1f Mbps, %d soundings, %.1f%% airtime on feedback\n",
 		sched.Name(), res.Mbps, res.Soundings, 100*res.FeedbackFraction)
 }
@@ -257,6 +281,7 @@ func cmdMUMIMO(args []string) {
 	duration := fs.Float64("duration", 8, "seconds")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	period := fs.Float64("period", 20, "common CSI feedback period (ms); 0 = per-client adaptive")
+	ofl := addObsFlags(fs)
 	parseArgs(fs, args)
 
 	modes := []mobility.Mode{mobility.Environmental, mobility.Micro, mobility.Macro}
@@ -292,7 +317,10 @@ func cmdMUMIMO(args []string) {
 		}
 		users[i] = u
 	}
-	res := beamforming.RunMU(users, beamforming.DefaultMUConfig(), *duration)
+	muCfg := beamforming.DefaultMUConfig()
+	muCfg.Obs = ofl.Scope()
+	defer ofl.Finish()
+	res := beamforming.RunMU(users, muCfg, *duration)
 	for i, mode := range modes {
 		fmt.Printf("%-14s %6.1f Mbps\n", mode, res.PerUserMbps[i])
 	}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mobiwlan/internal/obs"
+)
+
+// traceRingCap bounds the per-trial in-memory event ring when -trace is
+// set; once a trial exceeds it the oldest events are overwritten and the
+// drop count is reported on stderr.
+const traceRingCap = 4096
+
+// obsFlags wires the shared telemetry flags (docs/OPERATIONS.md) into a
+// subcommand: -metrics, -metrics-json, -metrics-addr and -trace. Scope
+// returns nil until one of them is set, so un-instrumented runs pay
+// nothing; all dumps go to stderr or files, never stdout.
+type obsFlags struct {
+	metrics     *bool
+	metricsJSON *string
+	metricsAddr *string
+	trace       *string
+
+	scope *obs.Scope
+}
+
+// addObsFlags registers the telemetry flags on fs. Call before parsing.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	o.metrics = fs.Bool("metrics", false, "dump the metric registry as text to stderr at exit")
+	o.metricsJSON = fs.String("metrics-json", "", "write the metric registry as JSON to this file at exit")
+	o.metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address during the run")
+	o.trace = fs.String("trace", "", "write the event trace as JSONL to this file at exit")
+	return o
+}
+
+// Scope returns the run's telemetry scope, creating it (and the optional
+// metrics listener) on first use; nil when no telemetry flag was given.
+func (o *obsFlags) Scope() *obs.Scope {
+	if o.scope != nil {
+		return o.scope
+	}
+	if !*o.metrics && *o.metricsJSON == "" && *o.metricsAddr == "" && *o.trace == "" {
+		return nil
+	}
+	cap := 0
+	if *o.trace != "" {
+		cap = traceRingCap
+	}
+	o.scope = obs.NewScope(cap)
+	if *o.metricsAddr != "" {
+		addr, _, err := obs.Serve(*o.metricsAddr, o.scope.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim: metrics listener:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mobisim: serving metrics on http://%s/metrics\n", addr)
+	}
+	return o.scope
+}
+
+// Finish writes the end-of-run dumps. Call once after the subcommand's
+// simulation completes; a no-op when no telemetry flag was given.
+func (o *obsFlags) Finish() {
+	if o.scope == nil {
+		return
+	}
+	if *o.metrics {
+		if err := o.scope.Reg.WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim: metrics dump:", err)
+			os.Exit(1)
+		}
+	}
+	if *o.metricsJSON != "" {
+		if err := writeToFile(*o.metricsJSON, o.scope.Reg.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim: metrics dump:", err)
+			os.Exit(1)
+		}
+	}
+	if *o.trace != "" {
+		if err := writeToFile(*o.trace, o.scope.Trials.WriteJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim: trace dump:", err)
+			os.Exit(1)
+		}
+		if d := o.scope.Trials.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr,
+				"mobisim: trace rings dropped %d events (oldest are overwritten past %d events per trial)\n",
+				d, traceRingCap)
+		}
+	}
+}
+
+// writeToFile creates path and streams write into it.
+func writeToFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -22,6 +22,7 @@ import (
 	"mobiwlan/internal/dot11"
 	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/stats"
 	"mobiwlan/internal/tof"
 )
@@ -45,11 +46,25 @@ func main() {
 	chCfg := channel.DefaultConfig()
 	chCfg.TxPowerDBm = 5
 
-	srv, err := ctlproto.NewServer("127.0.0.1:0", ctlproto.NewCoordinator())
+	// Control-plane telemetry: RPC counters, decision latency and the
+	// connection-ordered event trace, dumped to stderr at exit.
+	reg := obs.NewRegistry()
+	met := ctlproto.NewMetrics(reg, obs.NewSyncTracer(1024))
+
+	coord := ctlproto.NewCoordinator()
+	coord.Met = met
+	srv, err := ctlproto.NewServer("127.0.0.1:0", coord)
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv.SetMetrics(met)
 	defer srv.Close()
+	defer func() {
+		fmt.Fprintln(os.Stderr, "\ncontrol-plane metrics:")
+		if err := reg.WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics dump:", err)
+		}
+	}()
 	fmt.Printf("controller listening on %s\n\n", srv.Addr())
 
 	clientMAC := dot11.MAC{0xaa, 0xbb, 0xcc, 0x00, 0x11, 0x22}

@@ -6,6 +6,7 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/phy"
 )
 
@@ -30,6 +31,11 @@ type MUConfig struct {
 	MPDUBytes int
 	// RateMarginDB backs rate selection off the measured SINR.
 	RateMarginDB float64
+	// Obs, when non-nil, collects sounding telemetry; Trial keys the
+	// per-trial tracer (distinct concurrent trials must use distinct
+	// keys).
+	Obs   *obs.Scope
+	Trial int
 }
 
 // DefaultMUConfig returns the paper's §6.2 emulation setup.
@@ -113,6 +119,10 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 		return res
 	}
 
+	// Telemetry (all sinks nil-safe when cfg.Obs is nil).
+	soundings := cfg.Obs.Registry().Counter("beamforming.mu.soundings")
+	tr := cfg.Obs.Tracer(cfg.Trial)
+
 	ests := make([]*csi.Matrix, n)
 	// Reused buffers: one raw-measurement scratch shared by all users'
 	// soundings (each user keeps its own quantized estimate in ests), and
@@ -145,6 +155,8 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 				t += fb
 				lastFB[u] = t
 				sounded = true
+				soundings.Inc()
+				tr.Emit(t, "beamforming", "mu-sound", float64(u), fb, core.StateLabel(state))
 			}
 		}
 		if sounded || weights == nil {

@@ -4,6 +4,7 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/phy"
 )
 
@@ -91,6 +92,11 @@ type SUConfig struct {
 	MPDUBytes int
 	// RateMarginDB backs rate selection off the measured beamformed SNR.
 	RateMarginDB float64
+	// Obs, when non-nil, collects sounding telemetry; Trial keys the
+	// per-trial tracer (distinct concurrent trials must use distinct
+	// keys).
+	Obs   *obs.Scope
+	Trial int
 }
 
 // DefaultSUConfig returns the paper's SU-beamforming setup.
@@ -119,6 +125,10 @@ func RunSU(ch *channel.Model, sched FeedbackScheduler, stateAt func(t float64) c
 	var res SUResult
 	var bits, fbTime float64
 
+	// Telemetry (all sinks nil-safe when cfg.Obs is nil).
+	soundings := cfg.Obs.Registry().Counter("beamforming.su.soundings")
+	tr := cfg.Obs.Tracer(cfg.Trial)
+
 	// Reused buffers: the raw measurement, the quantized feedback estimate,
 	// and the true channel used to score each precoded frame.
 	var mBuf, est, truthBuf *csi.Matrix
@@ -142,6 +152,8 @@ func RunSU(ch *channel.Model, sched FeedbackScheduler, stateAt func(t float64) c
 			t += fb
 			lastFB = t
 			res.Soundings++
+			soundings.Inc()
+			tr.Emit(t, "beamforming", "sound", period, fb, core.StateLabel(state))
 			// Rate selection happens when the estimate is fresh — the AP
 			// has no channel knowledge between soundings, so the chosen
 			// rate is held until the next feedback (which is exactly why

@@ -25,6 +25,7 @@ import (
 
 	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/stats"
 )
 
@@ -193,6 +194,11 @@ type Classifier struct {
 	trend            *trendDetectorShim
 
 	state State
+
+	// Optional telemetry sinks (see Instrument); nil means disabled
+	// and costs one branch per site.
+	met *Metrics
+	tr  *obs.Tracer
 }
 
 // trendDetectorShim embeds the windowed monotone-trend test. It mirrors
@@ -262,6 +268,7 @@ func (c *Classifier) ObserveCSI(t float64, m *csi.Matrix) {
 		return
 	}
 	s := c.simWin.Mean()
+	c.met.observeSimilarity(s)
 	switch {
 	case s > c.cfg.ThrSta:
 		c.coarse = StateStatic
@@ -276,11 +283,12 @@ func (c *Classifier) ObserveCSI(t float64, m *csi.Matrix) {
 // refreshState recomputes the published state and manages the ToF
 // measurement lifecycle (paper Fig. 5).
 func (c *Classifier) refreshState(t float64) {
+	prev := c.state
 	switch c.coarse {
 	case StateStatic, StateEnvironmental:
 		c.stationaryStreak++
 		if c.tofActive && c.stationaryStreak >= c.cfg.ToFStopHysteresis {
-			c.stopToF()
+			c.stopToF(t)
 		}
 		c.state = c.coarse
 	case StateMicro:
@@ -299,6 +307,9 @@ func (c *Classifier) refreshState(t float64) {
 	default:
 		c.state = StateUnknown
 	}
+	if c.state != prev {
+		c.noteTransition(t, prev, c.state)
+	}
 }
 
 func (c *Classifier) startToF(t float64) {
@@ -307,12 +318,16 @@ func (c *Classifier) startToF(t float64) {
 	c.tofLast = t
 	c.tofFilter.Flush()
 	c.trend.window.Reset()
+	c.met.observeToF(true)
+	c.tr.Emit(t, "core", "tof-start", 0, 0, "")
 }
 
-func (c *Classifier) stopToF() {
+func (c *Classifier) stopToF(t float64) {
 	c.tofActive = false
 	c.tofFilter.Flush()
 	c.trend.window.Reset()
+	c.met.observeToF(false)
+	c.tr.Emit(t, "core", "tof-stop", 0, 0, "")
 }
 
 // ToFActive reports whether the AP should currently be collecting ToF

@@ -4,6 +4,7 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/stats"
 	"mobiwlan/internal/tof"
 )
@@ -13,6 +14,12 @@ type PipelineConfig struct {
 	Channel    channel.Config
 	ToF        tof.Config
 	Classifier Config
+
+	// Obs, when non-nil, collects classifier telemetry. Trial keys the
+	// per-trial tracer (obs package rules: distinct concurrent trials
+	// must use distinct keys); metrics are shared and commutative.
+	Obs   *obs.Scope
+	Trial int
 }
 
 // DefaultPipelineConfig returns the paper's end-to-end configuration.
@@ -41,6 +48,17 @@ func RunScenario(scen *mobility.Scenario, pc PipelineConfig, seed uint64) []Deci
 	link := channel.New(pc.Channel, scen, rng.Split(1))
 	meter := tof.NewMeter(pc.ToF, rng.Split(2))
 	cls := New(pc.Classifier)
+
+	var met *Metrics
+	if pc.Obs != nil {
+		met = NewMetrics(pc.Obs.Registry())
+		cls.Instrument(met, pc.Obs.Tracer(pc.Trial))
+	}
+	// Classification latency: sim time from a ground-truth mode change
+	// to the first decision whose coarse mode matches it.
+	lastTruth := StateUnknown
+	truthChangedAt := 0.0
+	latencyPending := false
 
 	var out []Decision
 	var csiBuf *csi.Matrix // reused measurement buffer; the classifier copies
@@ -73,10 +91,20 @@ func RunScenario(scen *mobility.Scenario, pc PipelineConfig, seed uint64) []Deci
 			csiBuf = s.CSI
 			cls.ObserveCSI(t, s.CSI)
 			mode, heading := scen.GroundTruth(t)
+			truth := StateFor(mode, heading)
+			if met != nil {
+				if truth.Mode() != lastTruth.Mode() || lastTruth == StateUnknown {
+					lastTruth, truthChangedAt, latencyPending = truth, t, true
+				}
+				if latencyPending && cls.State().Mode() == truth.Mode() && cls.State() != StateUnknown {
+					met.observeLatency(t - truthChangedAt)
+					latencyPending = false
+				}
+			}
 			out = append(out, Decision{
 				Time:  t,
 				State: cls.State(),
-				Truth: StateFor(mode, heading),
+				Truth: truth,
 			})
 			nextCSI += csiPeriod
 		}

@@ -17,6 +17,8 @@ type Coordinator struct {
 	// MinInterval throttles consecutive roams of the same client, in
 	// report-time seconds.
 	MinInterval float64
+	// Met, when set, collects roam-decision counters and latencies.
+	Met *Metrics
 
 	mu      sync.Mutex
 	clients map[string]*clientState
@@ -28,7 +30,11 @@ type clientState struct {
 	state       core.State
 	lastRoam    float64
 	measuring   bool
-	reports     map[string]MeasureReport
+	// measureStart is the report timestamp that opened the current
+	// measurement round; decision latency is measured against it in
+	// report (sim) time.
+	measureStart float64
+	reports      map[string]MeasureReport
 }
 
 // NewCoordinator returns a coordinator with the paper's thresholds.
@@ -59,6 +65,7 @@ func (c *Coordinator) OnMobilityReport(rep MobilityReport, allAPs []string) []st
 		return nil
 	}
 	st.measuring = true
+	st.measureStart = rep.Time
 	st.reports = map[string]MeasureReport{}
 	var targets []string
 	for _, ap := range allAPs {
@@ -66,6 +73,7 @@ func (c *Coordinator) OnMobilityReport(rep MobilityReport, allAPs []string) []st
 			targets = append(targets, ap)
 		}
 	}
+	c.Met.observeMeasureStart(rep.Time, len(targets))
 	return targets
 }
 
@@ -98,6 +106,7 @@ func (c *Coordinator) OnMeasureReport(rep MeasureReport, expected int) (*RoamDir
 		}
 	}
 	if len(cands) == 0 {
+		c.Met.observeDecision(rep.Time, rep.Time-st.measureStart, false)
 		return nil, false
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -107,6 +116,7 @@ func (c *Coordinator) OnMeasureReport(rep MeasureReport, expected int) (*RoamDir
 		return cands[i].ap < cands[j].ap
 	})
 	st.lastRoam = rep.Time
+	c.Met.observeDecision(rep.Time, rep.Time-st.measureStart, true)
 	names := make([]string, len(cands))
 	for i, cd := range cands {
 		names[i] = cd.ap

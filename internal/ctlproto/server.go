@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Server is the WLAN controller endpoint: it accepts AP connections,
@@ -18,6 +19,10 @@ type Server struct {
 	ln    net.Listener
 	// Logf, when set, receives protocol-level diagnostics.
 	Logf func(format string, args ...any)
+	// met collects RPC counts and decision latencies; the accept loop is
+	// already running when SetMetrics is called, so the handle is an
+	// atomic pointer rather than a plain field.
+	met atomic.Pointer[Metrics]
 
 	mu    sync.Mutex
 	aps   map[string]*apSession
@@ -58,6 +63,14 @@ func NewServer(addr string, coord *Coordinator) (*Server, error) {
 
 // Addr returns the controller's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetMetrics attaches a telemetry bundle (safe at any time, including
+// while APs are connected; nil detaches). Counters observed before the
+// call are lost — attach right after NewServer to see the full lifecycle.
+func (s *Server) SetMetrics(m *Metrics) { s.met.Store(m) }
+
+// metrics returns the current telemetry bundle; nil disables everything.
+func (s *Server) metrics() *Metrics { return s.met.Load() }
 
 // Close stops the controller and its connections.
 func (s *Server) Close() error {
@@ -134,11 +147,13 @@ func (s *Server) track(conn net.Conn) bool {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.metrics().observeConn(true)
 	defer func() {
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.metrics().observeConn(false)
 	}()
 
 	// First message must be a Hello.
@@ -152,6 +167,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.logf("ctlproto: bad hello: %v", err)
 		return
 	}
+	s.metrics().observeRx(TypeHello)
+	s.metrics().observeSession(hello.APID)
 	sess := &apSession{id: hello.APID, conn: conn}
 	s.mu.Lock()
 	s.aps[hello.APID] = sess
@@ -179,6 +196,7 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(env Envelope) error {
+	s.metrics().observeRx(env.Type)
 	switch env.Type {
 	case TypeMobilityReport:
 		rep, err := DecodePayload[MobilityReport](env)
@@ -217,7 +235,9 @@ func (s *Server) sendTo(apID, msgType string, payload any) {
 	}
 	if err := sess.send(msgType, payload); err != nil {
 		s.logf("ctlproto: send to %s: %v", apID, err)
+		return
 	}
+	s.metrics().observeTx(msgType)
 }
 
 // APConn is an AP's client connection to the controller.

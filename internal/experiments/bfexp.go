@@ -125,12 +125,16 @@ func Figure11b(cfg Config) Result {
 			v := mobileVariants[l%len(mobileVariants)]
 			scen := variantScene(v, l, dur+6, rng.Split(uint64(l)))
 			stateAt := classifierStateFunc(scen, cfg.Seed+uint64(l))
+			suCfg := beamforming.DefaultSUConfig()
+			suCfg.Obs = cfg.Obs
 			chA := bfChannel(scen, cfg.Seed+uint64(l)*7)
+			suCfg.Trial = trialsFig11b + l*2
 			def := beamforming.RunSU(chA, beamforming.FixedFeedback{T: 200e-3}, nil,
-				beamforming.DefaultSUConfig(), dur)
+				suCfg, dur)
 			chB := bfChannel(scen, cfg.Seed+uint64(l)*7)
+			suCfg.Trial = trialsFig11b + l*2 + 1
 			ada := beamforming.RunSU(chB, beamforming.Adaptive{}, stateAt,
-				beamforming.DefaultSUConfig(), dur)
+				suCfg, dur)
 			if def.Mbps > 0 {
 				return []float64{100 * (ada.Mbps/def.Mbps - 1)}
 			}

@@ -276,7 +276,10 @@ func Table1(cfg Config) Result {
 		rng := cfg.rng(uint64(mode) + 60)
 		for _, decisions := range parallel.RunTrials(runs, cfg.jobs(), func(r int) []core.Decision {
 			scen := sceneFor(mode, r, dur, 1, rng.Split(uint64(r)*3+1))
-			return core.RunScenario(scen, pc, cfg.Seed+uint64(mode)*1000+uint64(r))
+			tpc := pc
+			tpc.Obs = cfg.Obs
+			tpc.Trial = trialsTable1 + int(mode)*10_000 + r
+			return core.RunScenario(scen, tpc, cfg.Seed+uint64(mode)*1000+uint64(r))
 		}) {
 			cm.Add(decisions, warmup)
 		}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/stats"
 )
@@ -28,10 +29,29 @@ type Config struct {
 	// splitting the root RNG at the trial index, never by sharing a
 	// sequentially-advanced stream across trials.
 	Jobs int
+	// Obs, when non-nil, collects telemetry from the instrumented
+	// experiments (classifier metrics, MAC counters, trial traces).
+	// Metric totals and exported dumps are byte-identical for every
+	// value of Jobs: counters and histograms commute, and trial tracers
+	// are keyed by trial index and merged in key order (DESIGN.md §9).
+	Obs *obs.Scope
 }
 
 // DefaultConfig is the configuration cmd/figures uses.
 func DefaultConfig() Config { return Config{Seed: 2014, Scale: 1} }
+
+// Trial-key bases for the instrumented experiments. cmd/figures runs
+// independent experiment IDs concurrently against one shared obs.Scope,
+// and per-trial tracers are single-goroutine by contract, so every
+// experiment derives its tracer keys from its own base to keep the key
+// space globally disjoint (DESIGN.md §9).
+const (
+	trialsTable1 = 1_000_000 // + mode*10_000 + trial
+	trialsFig9a  = 2_000_000 // + link*2 + {0: stock, 1: motion-aware}
+	trialsFig13  = 3_000_000 // + walk*2 + {0: default, 1: motion-aware}
+	trialsFig7b  = 4_000_000 // + case*100_000 + trial
+	trialsFig11b = 5_000_000 // + link*2 + {0: fixed, 1: adaptive}
+)
 
 // jobs returns the effective worker count for trial fan-out.
 func (c Config) jobs() int {

@@ -31,9 +31,13 @@ func Figure13(cfg Config) Result {
 	type pair struct{ def, aware float64 }
 	pairs := parallel.RunTrials(len(walks), cfg.jobs(), func(i int) pair {
 		scen := walks[i]
+		optDef := sim.DefaultWLANOptions(false)
+		optDef.Obs, optDef.Trial = cfg.Obs, trialsFig13+i*2
+		optAware := sim.DefaultWLANOptions(true)
+		optAware.Obs, optAware.Trial = cfg.Obs, trialsFig13+i*2+1
 		return pair{
-			def:   sim.RunWLAN(scen, sim.DefaultWLANOptions(false), cfg.Seed+uint64(i)).Mbps,
-			aware: sim.RunWLAN(scen, sim.DefaultWLANOptions(true), cfg.Seed+uint64(i)).Mbps,
+			def:   sim.RunWLAN(scen, optDef, cfg.Seed+uint64(i)).Mbps,
+			aware: sim.RunWLAN(scen, optAware, cfg.Seed+uint64(i)).Mbps,
 		}
 	})
 	var def, aware []float64

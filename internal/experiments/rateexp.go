@@ -177,12 +177,14 @@ func Figure9a(cfg Config) Result {
 	type pair struct{ stock, aware float64 }
 	pairs := parallel.RunTrials(links, cfg.jobs(), func(l int) pair {
 		scen := mixedMobilityScenario(l, dur, rng.Split(uint64(l)))
-		runOne := func(opt sim.LinkOptions) float64 {
+		runOne := func(opt sim.LinkOptions, variant int) float64 {
 			opt.Source = transport.NewTCPReno(1500)
+			opt.Obs = cfg.Obs
+			opt.Trial = trialsFig9a + l*2 + variant
 			isolateRA(&opt)
 			return sim.RunLink(scen, opt, cfg.Seed+uint64(l)).Mbps
 		}
-		return pair{stock: runOne(sim.DefaultLinkOptions()), aware: runOne(sim.MotionAwareLinkOptions())}
+		return pair{stock: runOne(sim.DefaultLinkOptions(), 0), aware: runOne(sim.MotionAwareLinkOptions(), 1)}
 	})
 	var stockPts, awarePts []stats.Point
 	var stockAll, awareAll []float64

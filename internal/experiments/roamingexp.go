@@ -229,9 +229,14 @@ func Figure7b(cfg Config) Result {
 	}
 	var series []stats.Series
 	medians := map[string]float64{}
-	for _, pc := range cases {
+	for ci, pc := range cases {
 		mbps := parallel.RunTrials(len(walks), cfg.jobs(), func(r int) float64 {
-			return runner.Run(walks[r], pc.mk(), cfg.Seed+uint64(r)).Mbps
+			// Per-trial runner copy: concurrent trials must not share a
+			// tracer key, and Runner fields are plain configuration.
+			rn := *runner
+			rn.Obs = cfg.Obs
+			rn.Trial = trialsFig7b + ci*100_000 + r
+			return rn.Run(walks[r], pc.mk(), cfg.Seed+uint64(r)).Mbps
 		})
 		medians[pc.name] = stats.Median(mbps)
 		series = append(series, stats.CDFSeries(pc.name, mbps, 25))

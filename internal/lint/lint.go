@@ -13,7 +13,9 @@
 //     (checks lock-copy, lock-param, go-capture);
 //   - error hygiene: error results must not be silently dropped, and
 //     wrapped errors must use %w so errors.Is/As keep working (checks
-//     discarded-error, errorf-wrap).
+//     discarded-error, errorf-wrap);
+//   - documentation: every package must carry a package doc comment so
+//     the godoc index stays complete (check pkg-doc).
 //
 // A finding can be suppressed with a justified directive on the same
 // line or the line above:
@@ -74,6 +76,7 @@ var Checks = []*Check{
 	goCaptureCheck,
 	discardedErrorCheck,
 	errorfWrapCheck,
+	pkgDocCheck,
 }
 
 // badIgnoreCheck is the name under which malformed suppression

@@ -1,0 +1,7 @@
+package nodoc // want pkg-doc
+
+// Exported is documented, but no file in the package carries a package
+// doc comment, so pkg-doc fires on the package clause above. (The
+// marker rides the clause as a trailing comment precisely so it does
+// not become the missing doc comment itself.)
+func Exported() int { return 1 }

@@ -55,6 +55,9 @@ type Link struct {
 	SGI bool
 	// MPDUBytes is the payload size of each aggregated subframe.
 	MPDUBytes int
+	// Met, when set, observes every Transmit outcome (shared handles,
+	// concurrency-safe); nil costs one branch per frame.
+	Met *Metrics
 
 	rng *stats.RNG
 
@@ -132,5 +135,6 @@ func (l *Link) Transmit(t float64, mcs phy.MCS, nMPDU int) FrameResult {
 		}
 	}
 	res.BlockAck = res.Delivered > 0
+	l.Met.observe(res)
 	return res
 }

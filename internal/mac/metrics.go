@@ -1,0 +1,55 @@
+package mac
+
+import "mobiwlan/internal/obs"
+
+// Metrics is the MAC layer's telemetry bundle, observed once per
+// Transmit. All handles are atomic and commutative, so one Metrics may
+// be shared across concurrent trial links; a nil *Metrics disables
+// everything at the cost of one branch per frame.
+type Metrics struct {
+	// frames counts transmit opportunities; mpdus/delivered count
+	// aggregated vs acknowledged subframes (their ratio is the PER).
+	frames    *obs.Counter
+	mpdus     *obs.Counter
+	delivered *obs.Counter
+	// noBlockAck counts frames that lost every subframe — the case
+	// Atheros rate control treats as severe.
+	noBlockAck *obs.Counter
+	// ampduSize/airtime/deliveryFrac are per-frame distributions.
+	ampduSize    *obs.Histogram
+	airtime      *obs.Histogram
+	deliveryFrac *obs.Histogram
+}
+
+// NewMetrics creates the MAC metric handles on reg. A nil registry
+// yields a nil (fully disabled) Metrics.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		frames:       reg.Counter("mac.frames"),
+		mpdus:        reg.Counter("mac.mpdus"),
+		delivered:    reg.Counter("mac.mpdus.delivered"),
+		noBlockAck:   reg.Counter("mac.frames.no-blockack"),
+		ampduSize:    reg.Histogram("mac.ampdu-size", 1, 2, 4, 8, 16, 32, 64),
+		airtime:      reg.Histogram("mac.airtime_s", 0.0005, 0.001, 0.002, 0.004, 0.008, 0.016),
+		deliveryFrac: reg.Histogram("mac.delivery-frac", 0, 0.25, 0.5, 0.75, 0.9, 0.99, 1),
+	}
+}
+
+// observe folds one frame outcome into the bundle.
+func (m *Metrics) observe(res FrameResult) {
+	if m == nil {
+		return
+	}
+	m.frames.Inc()
+	m.mpdus.Add(uint64(res.NMPDU))
+	m.delivered.Add(uint64(res.Delivered))
+	if !res.BlockAck {
+		m.noBlockAck.Inc()
+	}
+	m.ampduSize.Observe(float64(res.NMPDU))
+	m.airtime.Observe(res.Airtime)
+	m.deliveryFrac.Observe(float64(res.Delivered) / float64(res.NMPDU))
+}

@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+// Steady-state telemetry must be allocation-free: these pins are the
+// package-local counterpart of the repo root's alloc_test.go, holding
+// the hot-path operations at exactly zero allocs per op.
+
+func TestCounterIncAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pin.count")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per op, want 0", n)
+	}
+}
+
+func TestGaugeSetAllocFree(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pin.level")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.25) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pin.lat_s", 0.001, 0.01, 0.1, 1, 10)
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(float64(i%12) * 0.9) // hits every bucket incl. overflow
+		i++
+	}); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}
+
+func TestTracerEmitAllocFree(t *testing.T) {
+	tr := NewTracer(64)
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		// More emits than capacity: overflow path must be free too.
+		tr.Emit(float64(i), "pin", "tick", 1, 2, "static")
+		i++
+	}); n != 0 {
+		t.Fatalf("Tracer.Emit allocates %v per op, want 0", n)
+	}
+}
+
+func TestNilSinksAllocFree(t *testing.T) {
+	var (
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		tr *Tracer
+	)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(2)
+		tr.Emit(0, "x", "y", 0, 0, "")
+	}); n != 0 {
+		t.Fatalf("nil sinks allocate %v per op, want 0", n)
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCountersExactTotals hammers counters, gauges, and
+// histograms from many goroutines and asserts exact totals: the whole
+// determinism story rests on these updates being commutative.
+func TestConcurrentCountersExactTotals(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	r := NewRegistry()
+	c := r.Counter("hammer.count")
+	h := r.Histogram("hammer.val", 0.25, 0.5, 0.75)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Handle lookup races with other workers on purpose: the
+			// registry must hand every goroutine the same handle.
+			cw := r.Counter("hammer.count")
+			gw := r.Gauge("hammer.level")
+			for i := 0; i < perW; i++ {
+				cw.Inc()
+				gw.Set(float64(w))
+				// Spread samples across all four buckets evenly and
+				// accumulate a sum that is exact in micro-units.
+				h.Observe(float64(i%4) * 0.25)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(workers*perW); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got, want := h.Count(), uint64(workers*perW); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+	// Per worker: perW/4 samples each of 0, 0.25, 0.5, 0.75 → sum 1.5*perW/4.
+	if got, want := h.Sum(), float64(workers)*1.5*perW/4; got != want {
+		t.Fatalf("histogram sum = %g, want %g (must be exact in micro-units)", got, want)
+	}
+	// Samples 0 and 0.25 both satisfy le(0.25) → bucket 0 gets two
+	// quarters; 0.5 and 0.75 get one quarter each; nothing overflows.
+	wantBuckets := []uint64{workers * perW / 2, workers * perW / 4, workers * perW / 4, 0}
+	for i, want := range wantBuckets {
+		if got := h.BucketCount(i); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	gv := r.Gauge("hammer.level").Value()
+	if gv < 0 || gv >= workers {
+		t.Fatalf("gauge = %g, want one of the written worker ids", gv)
+	}
+}
+
+// TestConcurrentTrialTracers drives one tracer per goroutine through
+// the shared TrialTracers set under -race, including ring overflow,
+// then checks every trial retained its own events intact.
+func TestConcurrentTrialTracers(t *testing.T) {
+	const (
+		workers = 8
+		events  = 300
+		ringCap = 100
+	)
+	tt := NewTrialTracers(ringCap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := tt.For(w)
+			for i := 0; i < events; i++ {
+				tr.Emit(float64(i), "test", "tick", float64(w), float64(i), "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		tr := tt.For(w)
+		if got := tr.Len(); got != ringCap {
+			t.Fatalf("trial %d Len = %d, want %d", w, got, ringCap)
+		}
+		if got, want := tr.Dropped(), uint64(events-ringCap); got != want {
+			t.Fatalf("trial %d Dropped = %d, want %d", w, got, want)
+		}
+		for i, ev := range tr.Events() {
+			if ev.A != float64(w) {
+				t.Fatalf("trial %d event leaked from trial %g", w, ev.A)
+			}
+			if want := float64(events - ringCap + i); ev.B != want {
+				t.Fatalf("trial %d event %d B = %g, want %g", w, i, ev.B, want)
+			}
+		}
+	}
+	if got, want := tt.Dropped(), uint64(workers*(events-ringCap)); got != want {
+		t.Fatalf("total Dropped = %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentSyncTracer hammers one SyncTracer from many goroutines:
+// total retained+dropped must be exact even though order is not.
+func TestConcurrentSyncTracer(t *testing.T) {
+	const (
+		workers = 8
+		events  = 500
+		ringCap = 256
+	)
+	st := NewSyncTracer(ringCap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				st.Emit(float64(i), "test", "tick", float64(w), 0, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	retained := uint64(len(st.Events()))
+	if got, want := retained+st.Dropped(), uint64(workers*events); got != want {
+		t.Fatalf("retained %d + dropped %d = %d, want %d", retained, st.Dropped(), got, want)
+	}
+	if retained != ringCap {
+		t.Fatalf("retained = %d, want full ring %d", retained, ringCap)
+	}
+}
+
+// TestConcurrentRegistryCreation races handle creation for many
+// distinct and shared names; every name must resolve to exactly one
+// handle and the dump must see all of them.
+func TestConcurrentRegistryCreation(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"a.x", "b.x", "c.x", "d.x"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter(names[i%len(names)]).Inc()
+				r.Histogram("h.shared", 1, 2).Observe(float64(i % 3))
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, n := range names {
+		total += r.Counter(n).Value()
+	}
+	if want := uint64(8 * 500); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	if got, want := r.Histogram("h.shared").Count(), uint64(8*500); got != want {
+		t.Fatalf("shared histogram count = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test.count"); again != c {
+		t.Fatal("Counter did not return the existing handle")
+	}
+	g := r.Gauge("test.level")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %g, want -1 (last write wins)", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.lat_s", 0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 102.65 {
+		t.Fatalf("sum = %g, want 102.65", got)
+	}
+	want := []uint64{2, 1, 1, 1} // ≤0.1: {0.05, 0.1}; ≤1: {0.5}; ≤10: {2}; overflow: {100}
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	// Second lookup ignores (different) bounds and returns the same handle.
+	if again := r.Histogram("test.lat_s", 99); again != h {
+		t.Fatal("Histogram did not return the existing handle")
+	}
+}
+
+func TestHistogramCreatePanics(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no bounds", func() { r.Histogram("test.empty") })
+	mustPanic("unsorted bounds", func() { r.Histogram("test.unsorted", 2, 1) })
+	mustPanic("bad name", func() { r.Counter("Bad Name") })
+	mustPanic("empty name", func() { r.Counter("") })
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("anything")
+	g := r.Gauge("anything")
+	h := r.Histogram("anything")
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if err := r.WriteText(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr *Tracer
+	tr.Emit(0, "x", "y", 0, 0, "")
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must be a no-op")
+	}
+	var st *SyncTracer
+	st.Emit(0, "x", "y", 0, 0, "")
+	if st.Events() != nil || st.Dropped() != 0 {
+		t.Fatal("nil sync tracer must be a no-op")
+	}
+	var tt *TrialTracers
+	if tt.For(0) != nil || tt.Trials() != nil || tt.Dropped() != 0 {
+		t.Fatal("nil trial set must be a no-op")
+	}
+	if err := tt.WriteJSONL(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var s *Scope
+	if s.Registry() != nil || s.Tracer(3) != nil {
+		t.Fatal("nil scope must hand out nil sinks")
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Inc()
+	r.Gauge("z.level").Set(1.5)
+	h := r.Histogram("m.lat_s", 1, 2)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "counter a.count 1\n" +
+		"counter b.count 2\n" +
+		"gauge z.level 1.5\n" +
+		"histogram m.lat_s count=3 sum=11 le(1)=1 le(2)=2 le(inf)=3\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("WriteText:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.n").Add(7)
+	r.Gauge("g.v").Set(3.25)
+	h := r.Histogram("h.x", 1)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Schema     string             `json:"schema"`
+		Counters   map[string]uint64  `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   uint64  `json:"count"`
+			Sum     float64 `json:"sum"`
+			Buckets []struct {
+				LE float64 `json:"le"`
+				N  uint64  `json:"n"`
+			} `json:"buckets"`
+			Overflow uint64 `json:"overflow"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema != MetricsSchema {
+		t.Fatalf("schema = %q, want %q", d.Schema, MetricsSchema)
+	}
+	if d.Counters["c.n"] != 7 || d.Gauges["g.v"] != 3.25 {
+		t.Fatalf("bad scalars: %+v", d)
+	}
+	hx := d.Histograms["h.x"]
+	if hx.Count != 2 || hx.Sum != 2.5 || len(hx.Buckets) != 1 || hx.Buckets[0].N != 1 || hx.Overflow != 1 {
+		t.Fatalf("bad histogram: %+v", hx)
+	}
+	// Two dumps of the same registry are byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("repeated WriteJSON dumps differ")
+	}
+}
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(float64(i), "cat", "ev", float64(i), 0, "")
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := float64(6 + i); ev.T != want {
+			t.Fatalf("event %d T = %g, want %g (oldest-first after overflow)", i, ev.T, want)
+		}
+	}
+	if NewTracer(0) != nil || NewTracer(-1) != nil {
+		t.Fatal("non-positive capacity must return a nil tracer")
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(1, "c", "e", 0, 0, "s")
+	tr.Emit(2, "c", "e", 0, 0, "")
+	if tr.Len() != 2 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/0", tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].T != 1 || evs[0].S != "s" || evs[1].T != 2 {
+		t.Fatalf("bad events: %+v", evs)
+	}
+}
+
+func TestTrialTracersJSONLOrder(t *testing.T) {
+	tt := NewTrialTracers(16)
+	// Populate out of order: export must still come out sorted by trial.
+	tt.For(5).Emit(0.5, "core", "transition", 1, 2, "macro")
+	tt.For(1).Emit(0.1, "core", "transition", 0, 1, "")
+	tt.For(1).Emit(0.2, "mac", "frame", 3, 4, "")
+
+	var buf bytes.Buffer
+	if err := tt.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []traceRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec traceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Trial != 1 || recs[0].T != 0.1 || recs[1].Trial != 1 || recs[1].T != 0.2 || recs[2].Trial != 5 {
+		t.Fatalf("bad merge order: %+v", recs)
+	}
+	if recs[2].S != "macro" || recs[2].Cat != "core" || recs[2].Ev != "transition" {
+		t.Fatalf("bad payload: %+v", recs[2])
+	}
+	// S omitted when empty, per traceio's compact-line convention.
+	var raw map[string]any
+	var buf2 bytes.Buffer
+	if err := tt.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	line, _, err := bufio.NewReader(&buf2).ReadLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(line, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["s"]; present {
+		t.Fatal("empty S must be omitted from JSONL")
+	}
+	if got := tt.Trials(); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("Trials = %v, want [1 5]", got)
+	}
+}
+
+func TestScopeWiring(t *testing.T) {
+	s := NewScope(8)
+	if s.Registry() == nil {
+		t.Fatal("scope registry missing")
+	}
+	if s.Tracer(2) == nil {
+		t.Fatal("scope tracer missing")
+	}
+	if s.Tracer(2) != s.Tracer(2) {
+		t.Fatal("same trial key must return same tracer")
+	}
+	sNoTrace := NewScope(0)
+	if sNoTrace.Trials != nil || sNoTrace.Tracer(0) != nil {
+		t.Fatal("traceCap 0 must disable tracing")
+	}
+	if sNoTrace.Registry() == nil {
+		t.Fatal("metrics must stay enabled without tracing")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv.hits").Add(3)
+	addr, srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "counter srv.hits 3") {
+		t.Fatalf("/metrics body missing counter: %q", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, MetricsSchema) {
+		t.Fatalf("/metrics.json body missing schema: %q", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Fatalf("pprof index unexpected: %.80q", body)
+	}
+}

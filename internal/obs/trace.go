@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// An Event is one structured trace record. T is simulation time in
+// seconds (never wall clock — wall time would break determinism and is
+// banned by mobilint's time-now check). Cat names the emitting
+// subsystem, Name the event kind (kebab-case). A and B are two
+// free-form numeric payload slots and S an optional pre-interned
+// string payload; their meaning is per event kind and documented at
+// the emit site.
+type Event struct {
+	T    float64
+	Cat  string
+	Name string
+	A    float64
+	B    float64
+	S    string
+}
+
+// A Tracer records events into a fixed-capacity ring, overwriting the
+// oldest once full. Emit is allocation-free and nil-safe but NOT
+// goroutine-safe — like channel.Model, one Tracer belongs to one
+// goroutine (parallel trials each get their own via TrialTracers; use
+// SyncTracer for genuinely concurrent subsystems).
+type Tracer struct {
+	ring []Event
+	next uint64 // total events ever emitted; next slot is next % len(ring)
+}
+
+// NewTracer returns a tracer holding up to capacity events; capacity
+// <= 0 returns nil (a no-op tracer).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Emit records one event, overwriting the oldest if the ring is full.
+func (tr *Tracer) Emit(t float64, cat, name string, a, b float64, s string) {
+	if tr == nil {
+		return
+	}
+	tr.ring[tr.next%uint64(len(tr.ring))] = Event{T: t, Cat: cat, Name: name, A: a, B: b, S: s}
+	tr.next++
+}
+
+// Len returns the number of retained events (≤ capacity).
+func (tr *Tracer) Len() int {
+	if tr == nil {
+		return 0
+	}
+	if tr.next < uint64(len(tr.ring)) {
+		return int(tr.next)
+	}
+	return len(tr.ring)
+}
+
+// Dropped returns how many events were overwritten by ring overflow.
+func (tr *Tracer) Dropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	if tr.next <= uint64(len(tr.ring)) {
+		return 0
+	}
+	return tr.next - uint64(len(tr.ring))
+}
+
+// Events returns the retained events in emission order (oldest first).
+// The returned slice is freshly allocated; call at export time only.
+func (tr *Tracer) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	n := tr.Len()
+	out := make([]Event, n)
+	if tr.next <= uint64(len(tr.ring)) {
+		copy(out, tr.ring[:n])
+		return out
+	}
+	start := tr.next % uint64(len(tr.ring))
+	k := copy(out, tr.ring[start:])
+	copy(out[k:], tr.ring[:start])
+	return out
+}
+
+// A SyncTracer wraps a Tracer with a mutex for subsystems that are
+// genuinely concurrent (ctlproto server goroutines). Its event order
+// reflects goroutine scheduling and is diagnostic, not reproducible —
+// never feed a SyncTracer into a determinism-checked export.
+type SyncTracer struct {
+	mu sync.Mutex
+	tr *Tracer
+}
+
+// NewSyncTracer returns a mutex-guarded tracer of the given capacity;
+// capacity <= 0 returns nil (a no-op tracer).
+func NewSyncTracer(capacity int) *SyncTracer {
+	tr := NewTracer(capacity)
+	if tr == nil {
+		return nil
+	}
+	return &SyncTracer{tr: tr}
+}
+
+// Emit records one event under the lock.
+func (st *SyncTracer) Emit(t float64, cat, name string, a, b float64, s string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.tr.Emit(t, cat, name, a, b, s)
+	st.mu.Unlock()
+}
+
+// Events returns the retained events in emission order.
+func (st *SyncTracer) Events() []Event {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.tr.Events()
+}
+
+// Dropped returns how many events were overwritten by ring overflow.
+func (st *SyncTracer) Dropped() uint64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.tr.Dropped()
+}
+
+// TrialTracers hands out one Tracer per trial key. The map is
+// mutex-guarded (For is called once per trial at setup, not per
+// event); each Tracer stays single-goroutine. WriteJSONL merges all
+// trials in ascending key order, so exports are deterministic for any
+// worker count.
+type TrialTracers struct {
+	mu  sync.Mutex
+	cap int
+	m   map[int]*Tracer
+}
+
+// NewTrialTracers returns a set whose tracers each hold up to capacity
+// events; capacity <= 0 returns nil (a no-op set).
+func NewTrialTracers(capacity int) *TrialTracers {
+	if capacity <= 0 {
+		return nil
+	}
+	return &TrialTracers{cap: capacity, m: make(map[int]*Tracer)}
+}
+
+// For returns the tracer for a trial key, creating it on first use.
+// Distinct concurrent workers must use distinct keys. Nil set → nil
+// (no-op) tracer.
+func (tt *TrialTracers) For(trial int) *Tracer {
+	if tt == nil {
+		return nil
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	tr, ok := tt.m[trial]
+	if !ok {
+		tr = NewTracer(tt.cap)
+		tt.m[trial] = tr
+	}
+	return tr
+}
+
+// Trials returns the trial keys in ascending order.
+func (tt *TrialTracers) Trials() []int {
+	if tt == nil {
+		return nil
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	keys := make([]int, 0, len(tt.m))
+	for k := range tt.m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Dropped sums ring overflow across all trials.
+func (tt *TrialTracers) Dropped() uint64 {
+	if tt == nil {
+		return 0
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	var n uint64
+	for _, tr := range tt.m {
+		n += tr.Dropped()
+	}
+	return n
+}
+
+// traceRecord is one JSONL line in a trace export, following the
+// internal/traceio convention of flat single-object lines.
+type traceRecord struct {
+	Trial int     `json:"trial"`
+	T     float64 `json:"t"`
+	Cat   string  `json:"cat"`
+	Ev    string  `json:"ev"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	S     string  `json:"s,omitempty"`
+}
+
+// WriteJSONL streams every retained event as one JSON object per line,
+// trials in ascending key order, events in emission order within a
+// trial. Equal contents render byte-identically regardless of how many
+// workers produced them.
+func (tt *TrialTracers) WriteJSONL(w io.Writer) error {
+	if tt == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, trial := range tt.Trials() {
+		tt.mu.Lock()
+		tr := tt.m[trial]
+		tt.mu.Unlock()
+		for _, ev := range tr.Events() {
+			rec := traceRecord{Trial: trial, T: ev.T, Cat: ev.Cat, Ev: ev.Name, A: ev.A, B: ev.B, S: ev.S}
+			if err := enc.Encode(&rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

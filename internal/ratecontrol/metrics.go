@@ -1,0 +1,39 @@
+package ratecontrol
+
+import (
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/obs"
+)
+
+// Metrics counts mobility-driven rate-control knob changes, attributed
+// to the state being applied (the paper's Table 2 rows). Handles are
+// atomic, so one Metrics may be shared across concurrent trial
+// adapters; a nil *Metrics disables everything.
+type Metrics struct {
+	changes *obs.Counter
+	toState map[core.State]*obs.Counter
+}
+
+// NewMetrics creates the rate-control metric handles on reg. A nil
+// registry yields a nil (fully disabled) Metrics.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{
+		changes: reg.Counter("ratecontrol.knob-changes"),
+		toState: make(map[core.State]*obs.Counter, int(core.StateMacroOrbit)+1),
+	}
+	for s := core.StateUnknown; s <= core.StateMacroOrbit; s++ {
+		m.toState[s] = reg.Counter("ratecontrol.knob-changes." + core.StateLabel(s))
+	}
+	return m
+}
+
+func (m *Metrics) observeChange(to core.State) {
+	if m == nil {
+		return
+	}
+	m.changes.Inc()
+	m.toState[to].Inc() // unmapped states → nil handle → no-op
+}

@@ -3,6 +3,7 @@ package ratecontrol
 import (
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/mac"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/phy"
 )
 
@@ -29,6 +30,15 @@ var Table2 = map[core.State]AtherosParams{
 type MobilityAware struct {
 	inner *Atheros
 	state core.State
+
+	// Optional telemetry (see Instrument). SetState carries no
+	// timestamp, so trace events reuse the last time seen by
+	// SelectRate/OnResult — in the simulators SetState is always called
+	// between frames of the same loop, so lastT is at most one frame
+	// stale.
+	met   *Metrics
+	tr    *obs.Tracer
+	lastT float64
 }
 
 // NewMobilityAware wraps a fresh Atheros instance for the link.
@@ -41,6 +51,14 @@ func NewMobilityAware(lc LinkConfig) *MobilityAware {
 // Name implements Adapter.
 func (m *MobilityAware) Name() string { return "motion-aware-atheros" }
 
+// Instrument attaches telemetry sinks (either may be nil): knob-change
+// counters with per-state attribution, and a "knobs" trace event per
+// applied change.
+func (m *MobilityAware) Instrument(met *Metrics, tr *obs.Tracer) {
+	m.met = met
+	m.tr = tr
+}
+
 // SetState implements StateAware: the AP pushes classifier updates here.
 func (m *MobilityAware) SetState(s core.State) {
 	if s == m.state {
@@ -49,6 +67,8 @@ func (m *MobilityAware) SetState(s core.State) {
 	m.state = s
 	if p, ok := Table2[s]; ok {
 		m.inner.SetParams(p)
+		m.met.observeChange(s)
+		m.tr.Emit(m.lastT, "ratecontrol", "knobs", p.Alpha, float64(p.RateRetries), core.StateLabel(s))
 	}
 }
 
@@ -56,10 +76,14 @@ func (m *MobilityAware) SetState(s core.State) {
 func (m *MobilityAware) State() core.State { return m.state }
 
 // SelectRate implements Adapter.
-func (m *MobilityAware) SelectRate(t float64) phy.MCS { return m.inner.SelectRate(t) }
+func (m *MobilityAware) SelectRate(t float64) phy.MCS {
+	m.lastT = t
+	return m.inner.SelectRate(t)
+}
 
 // OnResult implements Adapter.
 func (m *MobilityAware) OnResult(t float64, res mac.FrameResult) {
+	m.lastT = t
 	m.inner.OnResult(t, res)
 }
 

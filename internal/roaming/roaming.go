@@ -12,6 +12,7 @@ import (
 	"mobiwlan/internal/csi"
 	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/phy"
 	"mobiwlan/internal/stats"
 	"mobiwlan/internal/tof"
@@ -245,6 +246,11 @@ type Runner struct {
 	HandoffCost float64
 	// ScanCost is the off-channel time of a full scan.
 	ScanCost float64
+	// Obs, when non-nil, collects handoff/scan telemetry and classifier
+	// metrics; Trial keys the per-trial tracer (distinct concurrent
+	// trials must use distinct keys).
+	Obs   *obs.Scope
+	Trial int
 }
 
 // NewRunner returns a runner with the paper's costs.
@@ -276,9 +282,21 @@ func (r *Runner) Run(scen *mobility.Scenario, pol Policy, seed uint64) Result {
 	}
 	maxStreams := phy.MaxStreams(r.Plan.Channel.NTx, r.Plan.Channel.NRx)
 
+	// Telemetry (all sinks nil-safe when r.Obs is nil).
+	reg := r.Obs.Registry()
+	tr := r.Obs.Tracer(r.Trial)
+	handoffs := reg.Counter("roaming.handoffs")
+	scans := reg.Counter("roaming.scans")
+	clsMet := core.NewMetrics(reg)
+	newCls := func() *core.Classifier {
+		c := core.New(core.DefaultConfig())
+		c.Instrument(clsMet, tr)
+		return c
+	}
+
 	// Controller-side instrumentation: a classifier pipeline on the
 	// current AP and per-AP ToF trend detectors.
-	cls := core.New(core.DefaultConfig())
+	cls := newCls()
 	meter := tof.NewMeter(tof.DefaultConfig(), rng.Split(777))
 	trends := make([]*tof.TrendDetector, nAP)
 	filters := make([]*stats.MedianFilter, nAP)
@@ -337,7 +355,7 @@ func (r *Runner) Run(scen *mobility.Scenario, pol Policy, seed uint64) Result {
 
 		curSample := links[cur].MeasureInto(t, csiBuf)
 		csiBuf = curSample.CSI
-		obs := Observation{
+		view := Observation{
 			T:           t,
 			Cur:         cur,
 			CurRSSI:     curSample.RSSIdBm,
@@ -348,27 +366,31 @@ func (r *Runner) Run(scen *mobility.Scenario, pol Policy, seed uint64) Result {
 		for i, l := range links {
 			s := l.MeasureInto(t, csiBuf)
 			csiBuf = s.CSI
-			obs.InfraRSSI[i] = s.RSSIdBm
-			obs.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
+			view.InfraRSSI[i] = s.RSSIdBm
+			view.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
 		}
 		if scanPending && t >= busyUntil {
-			obs.ScanRSSI = obs.InfraRSSI // client scan sees the same radios
-			obs.ScanValid = true
+			view.ScanRSSI = view.InfraRSSI // client scan sees the same radios
+			view.ScanValid = true
 			scanPending = false
 		}
 
-		act := pol.Decide(obs)
+		act := pol.Decide(view)
 		if act.StartScan && t >= busyUntil {
 			busyUntil = t + r.ScanCost
 			scanPending = true
 			res.Scans++
+			scans.Inc()
+			tr.Emit(t, "roaming", "scan", float64(cur), 0, "")
 		}
 		if act.RoamTo >= 0 && act.RoamTo != cur && t >= busyUntil {
+			tr.Emit(t, "roaming", "handoff", float64(cur), float64(act.RoamTo), core.StateLabel(view.State))
 			cur = act.RoamTo
 			busyUntil = t + r.HandoffCost
 			res.Handoffs++
+			handoffs.Inc()
 			// The new AP starts with a fresh view of the client.
-			cls = core.New(core.DefaultConfig())
+			cls = newCls()
 		}
 
 		// Data plane.

@@ -12,6 +12,7 @@ import (
 	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mac"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/ratecontrol"
 	"mobiwlan/internal/stats"
 	"mobiwlan/internal/tof"
@@ -39,6 +40,11 @@ type LinkOptions struct {
 	// truth — the ablation separating classification error from protocol
 	// benefit.
 	OracleState func(t float64) core.State
+	// Obs, when non-nil, collects classifier, MAC, and rate-control
+	// telemetry; Trial keys the per-trial tracer (distinct concurrent
+	// trials must use distinct keys).
+	Obs   *obs.Scope
+	Trial int
 }
 
 // DefaultLinkOptions returns a mobility-oblivious stock configuration:
@@ -88,6 +94,14 @@ func RunLink(scen *mobility.Scenario, opt LinkOptions, seed uint64) LinkResult {
 	src := opt.Source
 	if src == nil {
 		src = transport.Saturated{}
+	}
+	if opt.Obs != nil {
+		tr := opt.Obs.Tracer(opt.Trial)
+		cls.Instrument(core.NewMetrics(opt.Obs.Registry()), tr)
+		link.Met = mac.NewMetrics(opt.Obs.Registry())
+		if ma, ok := opt.Adapter.(*ratecontrol.MobilityAware); ok {
+			ma.Instrument(ratecontrol.NewMetrics(opt.Obs.Registry()), tr)
+		}
 	}
 
 	res := LinkResult{StateDurations: map[core.State]float64{}}

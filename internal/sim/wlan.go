@@ -7,6 +7,7 @@ import (
 	"mobiwlan/internal/csi"
 	"mobiwlan/internal/mac"
 	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/obs"
 	"mobiwlan/internal/ratecontrol"
 	"mobiwlan/internal/roaming"
 	"mobiwlan/internal/stats"
@@ -31,6 +32,11 @@ type WLANOptions struct {
 	HandoffCost float64
 	// ScanCost is the client's off-channel scan time.
 	ScanCost float64
+	// Obs, when non-nil, collects classifier, MAC, rate-control, and
+	// handoff telemetry; Trial keys the per-trial tracer (distinct
+	// concurrent trials must use distinct keys).
+	Obs   *obs.Scope
+	Trial int
 }
 
 // DefaultWLANOptions returns the Fig. 13 setting.
@@ -68,9 +74,23 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 		src = transport.Saturated{}
 	}
 
+	// Telemetry (all sinks nil-safe when opt.Obs is nil).
+	reg := opt.Obs.Registry()
+	tr := opt.Obs.Tracer(opt.Trial)
+	handoffs := reg.Counter("sim.wlan.handoffs")
+	scans := reg.Counter("sim.wlan.scans")
+	clsMet := core.NewMetrics(reg)
+	macMet := mac.NewMetrics(reg)
+	rcMet := ratecontrol.NewMetrics(reg)
+	for _, l := range links {
+		l.Met = macMet
+	}
+
 	newAdapter := func() ratecontrol.Adapter {
 		if opt.MotionAware {
-			return ratecontrol.NewMobilityAware(ratecontrol.DefaultLinkConfig())
+			ma := ratecontrol.NewMobilityAware(ratecontrol.DefaultLinkConfig())
+			ma.Instrument(rcMet, tr)
+			return ma
 		}
 		return ratecontrol.NewAtheros(ratecontrol.DefaultLinkConfig())
 	}
@@ -81,9 +101,15 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 		roamPol = roaming.NewMobilityAware()
 	}
 
+	newCls := func() *core.Classifier {
+		c := core.New(core.DefaultConfig())
+		c.Instrument(clsMet, tr)
+		return c
+	}
+
 	// Controller instrumentation: classifier on the current AP, per-AP
 	// ToF trend detection for candidate headings.
-	cls := core.New(core.DefaultConfig())
+	cls := newCls()
 	meter := tof.NewMeter(tof.DefaultConfig(), rng.Split(777))
 	trends := make([]*tof.TrendDetector, nAP)
 	filters := make([]*stats.MedianFilter, nAP)
@@ -143,7 +169,7 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 			nextTick = t + tick
 			curSample := links[cur].Chan.MeasureInto(t, csiBuf)
 			csiBuf = curSample.CSI
-			obs := roaming.Observation{
+			view := roaming.Observation{
 				T:           t,
 				Cur:         cur,
 				CurRSSI:     curSample.RSSIdBm,
@@ -154,25 +180,29 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 			for i, l := range links {
 				s := l.Chan.MeasureInto(t, csiBuf)
 				csiBuf = s.CSI
-				obs.InfraRSSI[i] = s.RSSIdBm
-				obs.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
+				view.InfraRSSI[i] = s.RSSIdBm
+				view.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
 			}
 			if scanPending && t >= busyUntil {
-				obs.ScanRSSI = obs.InfraRSSI
-				obs.ScanValid = true
+				view.ScanRSSI = view.InfraRSSI
+				view.ScanValid = true
 				scanPending = false
 			}
-			act := roamPol.Decide(obs)
+			act := roamPol.Decide(view)
 			if act.StartScan && t >= busyUntil {
 				busyUntil = t + opt.ScanCost
 				scanPending = true
 				res.Scans++
+				scans.Inc()
+				tr.Emit(t, "sim", "scan", float64(cur), 0, "")
 			}
 			if act.RoamTo >= 0 && act.RoamTo != cur && t >= busyUntil {
+				tr.Emit(t, "sim", "handoff", float64(cur), float64(act.RoamTo), core.StateLabel(view.State))
 				cur = act.RoamTo
 				busyUntil = t + opt.HandoffCost
 				res.Handoffs++
-				cls = core.New(core.DefaultConfig())
+				handoffs.Inc()
+				cls = newCls()
 				adapter = newAdapter()
 			}
 		}

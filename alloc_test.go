@@ -9,6 +9,7 @@ package mobiwlan
 import (
 	"testing"
 
+	"mobiwlan/internal/beamforming"
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
@@ -164,6 +165,44 @@ func TestInstrumentedClassifierAllocFree(t *testing.T) {
 	}
 	if scope.Reg.Histogram("core.similarity", 1).Count() == 0 {
 		t.Fatal("similarity histogram saw no samples — instrumentation not wired")
+	}
+}
+
+// TestZFWeightsIntoAllocFree pins the MU-MIMO precoder hot path: once the
+// solver scratch, row buffers and weight buffer are warm, computing one
+// subcarrier's zero-forcing vectors must not allocate.
+func TestZFWeightsIntoAllocFree(t *testing.T) {
+	rng := stats.NewRNG(6)
+	mk := func() *csi.Matrix {
+		m := csi.NewMatrix(52, 3, 1)
+		for sc := 0; sc < 52; sc++ {
+			for tx := 0; tx < 3; tx++ {
+				m.Set(sc, tx, 0, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+		return m
+	}
+	a, c, d := mk(), mk(), mk()
+	rows := make([][]complex128, 3)
+	var solver beamforming.ZFSolver
+	var w [][]complex128
+	i := 0
+	step := func() {
+		sc := i % 52
+		i++
+		rows[0] = a.ColumnInto(rows[0], sc, 0)
+		rows[1] = c.ColumnInto(rows[1], sc, 0)
+		rows[2] = d.ColumnInto(rows[2], sc, 0)
+		var ok bool
+		w, ok = solver.WeightsInto(rows, w)
+		if !ok {
+			t.Fatal("singular precoding system in test data")
+		}
+	}
+	step() // warm the solver scratch and weight buffers
+	allocs := testing.AllocsPerRun(100, step)
+	if allocs != 0 {
+		t.Fatalf("WeightsInto with warm buffers: %v allocs/op, want 0", allocs)
 	}
 }
 

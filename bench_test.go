@@ -209,6 +209,61 @@ func BenchmarkLinkSimSecond(b *testing.B) {
 	}
 }
 
+// benchLinkSecond runs one second of the closed-loop link simulator per
+// iteration for a given mobility mode, with the channel coherence cache
+// on or off. Results are bit-identical either way (the cache contract,
+// pinned by TestCacheBitIdenticalAcrossModes); only the cost differs.
+// The seed is fixed so every iteration does identical work: frame
+// counts — and with them allocs/op and B/op — are seed-dependent, and
+// the benchstatus gate compares allocation columns exactly.
+func benchLinkSecond(b *testing.B, mode mobility.Mode, disableCache bool) {
+	cfg := mobility.DefaultSceneConfig()
+	cfg.Duration = 1
+	scen := mobility.NewScenario(mode, cfg, stats.NewRNG(4))
+	opt := sim.MotionAwareLinkOptions()
+	opt.Channel.DisableCache = disableCache
+	_ = sim.RunLink(scen, opt, 42) // warm one-time lazy state outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sim.RunLink(scen, opt, 42)
+	}
+}
+
+// BenchmarkStaticLinkSecond is the coherence cache's headline number: a
+// static client's geometry never changes, so after the first frame every
+// ResponseInto in the MAC hot path is an epoch hit (a matrix copy). The
+// Uncached variant runs the identical workload with Config.DisableCache
+// set; the ratio of the two is the cache's speedup, gated ≥3x by the
+// committed BENCH_pr5.json baseline.
+func BenchmarkStaticLinkSecond(b *testing.B)         { benchLinkSecond(b, mobility.Static, false) }
+func BenchmarkStaticLinkSecondUncached(b *testing.B) { benchLinkSecond(b, mobility.Static, true) }
+
+// BenchmarkEnvLinkSecond covers the partial-reuse path: environmental
+// mobility moves a few scatterers while the client stays put, so each
+// epoch miss re-evaluates only the paths whose length changed and reuses
+// every other path's cached phasor series.
+func BenchmarkEnvLinkSecond(b *testing.B)         { benchLinkSecond(b, mobility.Environmental, false) }
+func BenchmarkEnvLinkSecondUncached(b *testing.B) { benchLinkSecond(b, mobility.Environmental, true) }
+
+// BenchmarkWLANFleet tracks the multi-client scale harness: a small mixed
+// fleet (all four mobility classes, round-robin) of full WLAN stacks for
+// one simulated second each. Jobs is pinned to 1 so the number measures
+// per-client cost, not scheduler fan-out, and the seed is fixed so
+// allocs/op stays exact across runs (see benchLinkSecond).
+func BenchmarkWLANFleet(b *testing.B) {
+	opt := sim.FleetOptions{Clients: 4, Duration: 1, MotionAware: true, Jobs: 1}
+	_ = sim.RunWLANFleet(opt, 42) // warm worker stacks and lazy state outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.RunWLANFleet(opt, 42)
+		if len(res.PerClient) != opt.Clients {
+			b.Fatal("bad fleet size")
+		}
+	}
+}
+
 func BenchmarkRoamingRunSecond(b *testing.B) {
 	cfg := mobility.DefaultSceneConfig()
 	cfg.Duration = 1
@@ -234,13 +289,19 @@ func BenchmarkZFPrecoder(b *testing.B) {
 	}
 	a, c, d := mk(), mk(), mk()
 	rows := make([][]complex128, 3)
+	var solver beamforming.ZFSolver
+	var w [][]complex128
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc := i % 52
-		rows[0] = a.ColumnAt(sc, 0)
-		rows[1] = c.ColumnAt(sc, 0)
-		rows[2] = d.ColumnAt(sc, 0)
-		_ = beamforming.ZFWeights(rows)
+		rows[0] = a.ColumnInto(rows[0], sc, 0)
+		rows[1] = c.ColumnInto(rows[1], sc, 0)
+		rows[2] = d.ColumnInto(rows[2], sc, 0)
+		var ok bool
+		w, ok = solver.WeightsInto(rows, w)
+		if !ok {
+			b.Fatal("singular precoding system in benchmark data")
+		}
 	}
 }

@@ -9,12 +9,16 @@
 //	    Run the benchmarks and write a normalized snapshot (ns/op, B/op,
 //	    allocs/op per benchmark) to the given file.
 //
-//	benchstatus -check -baseline BENCH_pr3.json [-tol 0.35]
+//	benchstatus -check -baseline BENCH_pr5.json [-tol 0.35]
 //	    Run the benchmarks and compare against the committed baseline.
 //	    A benchmark regresses when its allocs/op or B/op exceed the
-//	    baseline (exact: allocation counts are hardware-independent), or
-//	    when its ns/op exceeds baseline*(1+tol) (tolerance absorbs
-//	    machine-to-machine and run-to-run timing noise).
+//	    baseline by more than 1% (which truncates to exact comparison
+//	    for the micro-benchmarks — allocation counts are
+//	    hardware-independent — while absorbing runtime background-
+//	    allocation jitter on the long end-to-end benches; see
+//	    allocTolFrac), or when its ns/op exceeds baseline*(1+tol)
+//	    (tolerance absorbs machine-to-machine and run-to-run timing
+//	    noise).
 //
 // Exit codes mirror cmd/mobilint: 0 clean, 1 regression found, 2 usage or
 // execution error.
@@ -45,7 +49,7 @@ import (
 // and link pipelines that consume them. Full figure regeneration benches
 // (BenchmarkFigure*) are excluded by default because their runtime would
 // dominate CI; pass -bench '.' to snapshot everything.
-const defaultBench = "^(BenchmarkChannelResponse|BenchmarkChannelMeasure|BenchmarkCSISimilarity|BenchmarkEffectiveSNR|BenchmarkClassifierPipeline|BenchmarkLinkSimSecond|BenchmarkZFPrecoder)$"
+const defaultBench = "^(BenchmarkChannelResponse|BenchmarkChannelMeasure|BenchmarkCSISimilarity|BenchmarkEffectiveSNR|BenchmarkClassifierPipeline|BenchmarkLinkSimSecond|BenchmarkStaticLinkSecond|BenchmarkStaticLinkSecondUncached|BenchmarkEnvLinkSecond|BenchmarkEnvLinkSecondUncached|BenchmarkWLANFleet|BenchmarkZFPrecoder)$"
 
 // Snapshot is the normalized on-disk form of one benchmark run.
 type Snapshot struct {
@@ -268,6 +272,25 @@ type regression struct {
 	name, what string
 }
 
+// allocTolFrac is the fractional headroom on allocs/op and B/op before a
+// count is a regression. Integer truncation keeps the micro-benchmark
+// contract exact: 1% of anything under 100 allocs/op rounds to zero
+// slack, so the 0-alloc hot path (and every small-count pipeline bench)
+// still gates on strict equality. The long end-to-end benchmarks — whole
+// link-seconds, the WLAN fleet — run tens to hundreds of milliseconds
+// per op, so their totals pick up a few bytes of runtime background
+// allocation (GC bookkeeping, goroutine stack churn) plus per-op
+// integer-division rounding; the slack absorbs that jitter without
+// letting a real allocation through (one extra alloc per op needs a
+// baseline above 100 allocs/op to hide, and a leaked buffer exceeds 1%
+// of a multi-KB footprint immediately).
+const allocTolFrac = 0.01
+
+// allocSlack returns the absolute headroom for a baseline count.
+func allocSlack(base int64) int64 {
+	return int64(float64(base) * allocTolFrac)
+}
+
 // compare returns the regressions of cur against base. Benchmarks present
 // only in cur are ignored (new coverage); benchmarks present only in base
 // fail, so a hot-path benchmark cannot silently disappear.
@@ -280,10 +303,10 @@ func compare(base, cur Snapshot, tol float64) []regression {
 			out = append(out, regression{name, "missing from current run"})
 			continue
 		}
-		if c.AllocsPerOp > b.AllocsPerOp {
+		if c.AllocsPerOp > b.AllocsPerOp+allocSlack(b.AllocsPerOp) {
 			out = append(out, regression{name, fmt.Sprintf("allocs/op %d > baseline %d", c.AllocsPerOp, b.AllocsPerOp)})
 		}
-		if c.BytesPerOp > b.BytesPerOp {
+		if c.BytesPerOp > b.BytesPerOp+allocSlack(b.BytesPerOp) {
 			out = append(out, regression{name, fmt.Sprintf("B/op %d > baseline %d", c.BytesPerOp, b.BytesPerOp)})
 		}
 		if limit := b.NsPerOp * (1 + tol); c.NsPerOp > limit {
@@ -306,7 +329,8 @@ func report(w *os.File, base, cur Snapshot, tol float64) {
 		}
 		verdict := "ok"
 		switch {
-		case c.AllocsPerOp > b.AllocsPerOp || c.BytesPerOp > b.BytesPerOp:
+		case c.AllocsPerOp > b.AllocsPerOp+allocSlack(b.AllocsPerOp) ||
+			c.BytesPerOp > b.BytesPerOp+allocSlack(b.BytesPerOp):
 			verdict = "ALLOC REGRESSION"
 		case c.NsPerOp > b.NsPerOp*(1+tol):
 			verdict = "TIME REGRESSION"

@@ -6,8 +6,12 @@
 //	classify  - run the PHY-layer mobility classifier over a scenario
 //	link      - closed-loop single-link run (rate control + aggregation)
 //	wlan      - walk through the 6-AP floor with the full stack
+//	fleet     - N independent clients against the shared AP plan
 //	roam      - roaming-policy comparison on one walk
 //	subf      - single-user beamforming with a chosen feedback period
+//
+// As a convenience, fleet flags may be passed directly ("mobisim
+// -clients 64" is "mobisim fleet -clients 64").
 //
 // Every subcommand takes -seed and -duration; see -h of each for more.
 // All subcommands except sched also take the shared telemetry flags
@@ -19,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mobiwlan/internal/aggregation"
 	"mobiwlan/internal/beamforming"
@@ -41,6 +46,11 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+	if strings.HasPrefix(cmd, "-") {
+		// Bare flags select the fleet workload: mobisim -clients 64.
+		cmdFleet(os.Args[1:])
+		return
+	}
 	switch cmd {
 	case "classify":
 		cmdClassify(args)
@@ -48,6 +58,8 @@ func main() {
 		cmdLink(args)
 	case "wlan":
 		cmdWLAN(args)
+	case "fleet":
+		cmdFleet(args)
 	case "roam":
 		cmdRoam(args)
 	case "subf":
@@ -63,7 +75,41 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mobisim <classify|link|wlan|roam|subf|mumimo|sched> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mobisim <classify|link|wlan|fleet|roam|subf|mumimo|sched> [flags]")
+}
+
+// cmdFleet runs the multi-client scale harness: N independent clients
+// with round-robin mobility modes against the shared AP plan. Per-client
+// lines are printed in client order so runs with different -jobs values
+// can be diffed byte-for-byte.
+func cmdFleet(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	clients := fs.Int("clients", 16, "number of independent clients")
+	jobs := fs.Int("jobs", 0, "parallel workers (0 = one per CPU)")
+	duration := fs.Float64("duration", 10, "seconds per client")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	aware := fs.Bool("motion-aware", true, "use the mobility-aware stack")
+	quiet := fs.Bool("quiet", false, "suppress per-client lines")
+	ofl := addObsFlags(fs)
+	parseArgs(fs, args)
+
+	opt := sim.FleetOptions{
+		Clients:     *clients,
+		Jobs:        *jobs,
+		MotionAware: *aware,
+		Duration:    *duration,
+		Obs:         ofl.Scope(),
+	}
+	defer ofl.Finish()
+	res := sim.RunWLANFleet(opt, *seed)
+	if !*quiet {
+		for _, c := range res.PerClient {
+			fmt.Printf("client %3d  %-13s %6.2f Mbps  %d handoffs  %d scans\n",
+				c.Client, c.Mode, c.Mbps, c.Handoffs, c.Scans)
+		}
+	}
+	fmt.Printf("fleet: %d clients x %.0f s, total %.1f Mbps, mean %.2f Mbps, %d handoffs, %d scans\n",
+		*clients, *duration, res.TotalMbps, res.MeanMbps, res.Handoffs, res.Scans)
 }
 
 // parseArgs parses args into fs. Every subcommand FlagSet uses

@@ -86,6 +86,89 @@ func (m *CMatrix) Inverse() (*CMatrix, error) {
 	for i := 0; i < n; i++ {
 		inv.Set(i, i, 1)
 	}
+	if !gaussJordan(a, inv) {
+		return nil, ErrSingular
+	}
+	return inv, nil
+}
+
+// ZFSolver is the allocation-free form of ZFWeights: the Gauss-Jordan
+// scratch lives on the solver and the weights are written into a
+// caller-owned buffer, following the same reuse contract as
+// channel.ResponseInto. A ZFSolver is not safe for concurrent use; its
+// arithmetic is operation-for-operation the one in Inverse, so results are
+// bit-identical to ZFWeights.
+type ZFSolver struct {
+	a, inv CMatrix
+}
+
+// WeightsInto computes the zero-forcing vectors for one subcarrier's
+// normalized user rows into dst and returns it with ok=true. On a singular
+// or non-square system it returns (dst, false) with dst's contents
+// unspecified, so the caller keeps its buffer either way. dst is grown
+// only when too small; steady-state callers never allocate.
+func (s *ZFSolver) WeightsInto(rows [][]complex128, dst [][]complex128) ([][]complex128, bool) {
+	n := len(rows)
+	if n == 0 || len(rows[0]) != n {
+		// Zero-forcing needs as many transmit antennas as users.
+		return dst, false
+	}
+	s.a.reshape(n, n)
+	s.inv.reshape(n, n)
+	a, inv := &s.a, &s.inv
+	for u, row := range rows {
+		for txi, v := range row {
+			a.Set(u, txi, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		inv.Set(i, i, 1)
+	}
+	if !gaussJordan(a, inv) {
+		return dst, false
+	}
+	// Column u of the inverse is user u's precoding direction.
+	if cap(dst) < n {
+		dst = make([][]complex128, n)
+	}
+	dst = dst[:n]
+	for u := 0; u < n; u++ {
+		if cap(dst[u]) < n {
+			dst[u] = make([]complex128, n)
+		}
+		w := dst[u][:n]
+		for txi := 0; txi < n; txi++ {
+			w[txi] = inv.At(txi, u)
+		}
+		if nrm := vecNorm(w); nrm > 0 {
+			for i := range w {
+				w[i] /= complex(nrm, 0)
+			}
+		}
+		dst[u] = w
+	}
+	return dst, true
+}
+
+// reshape resizes m to rows x cols, reusing its backing storage when
+// large enough, and zeroes the active window.
+func (m *CMatrix) reshape(rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]complex128, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// gaussJordan reduces a to the identity in place while applying the same
+// row operations to inv (which must start as the identity), leaving inv as
+// a's inverse. It reports false on a singular pivot. The operation
+// sequence is exactly Inverse's, so both produce identical bits.
+func gaussJordan(a, inv *CMatrix) bool {
+	n := a.Rows
 	for col := 0; col < n; col++ {
 		// Partial pivot: largest magnitude in this column.
 		pivot := col
@@ -96,7 +179,7 @@ func (m *CMatrix) Inverse() (*CMatrix, error) {
 			}
 		}
 		if best < 1e-300 {
-			return nil, ErrSingular
+			return false
 		}
 		if pivot != col {
 			swapRows(a, pivot, col)
@@ -123,7 +206,7 @@ func (m *CMatrix) Inverse() (*CMatrix, error) {
 			}
 		}
 	}
-	return inv, nil
+	return true
 }
 
 func swapRows(m *CMatrix, r1, r2 int) {
@@ -139,6 +222,16 @@ func vecNorm(v []complex128) float64 {
 		s += real(x)*real(x) + imag(x)*imag(x)
 	}
 	return math.Sqrt(s)
+}
+
+// dot returns the unconjugated product sum(a_i * b_i) — the h^T w inner
+// product of MU-MIMO precoding.
+func dot(a, b []complex128) complex128 {
+	var s complex128
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
 }
 
 // dotConj returns sum(a_i * conj(b_i)).

@@ -56,45 +56,23 @@ type MUResult struct {
 // ZFWeights computes zero-forcing precoding vectors from the (normalized)
 // estimated per-user channel rows of one subcarrier: one unit-norm
 // NTx-vector per user, or nil if the matrix is singular or non-square
-// (zero-forcing needs as many transmit antennas as users).
+// (zero-forcing needs as many transmit antennas as users). Hot paths
+// should prefer ZFSolver.WeightsInto, which reuses caller-owned buffers.
 func ZFWeights(rows [][]complex128) [][]complex128 {
-	n := len(rows)
-	if n == 0 || len(rows[0]) != n {
-		// Zero-forcing needs as many transmit antennas as users.
+	var s ZFSolver
+	out, ok := s.WeightsInto(rows, nil)
+	if !ok {
 		return nil
-	}
-	h := NewCMatrix(n, n)
-	for u, row := range rows {
-		for txi, v := range row {
-			h.Set(u, txi, v)
-		}
-	}
-	inv, err := h.Inverse()
-	if err != nil {
-		return nil
-	}
-	// Column u of the inverse is user u's precoding direction.
-	out := make([][]complex128, n)
-	for u := 0; u < n; u++ {
-		w := make([]complex128, n)
-		for txi := 0; txi < n; txi++ {
-			w[txi] = inv.At(txi, u)
-		}
-		if nrm := vecNorm(w); nrm > 0 {
-			for i := range w {
-				w[i] /= complex(nrm, 0)
-			}
-		}
-		out[u] = w
 	}
 	return out
 }
 
-// normalizedRow extracts one subcarrier's user row from a CSI matrix,
-// scaled by a precomputed per-user normalization so each user's average
-// channel power is 1 (per-user SNR is then applied separately).
-func normalizedRow(m *csi.Matrix, sc int, scale float64) []complex128 {
-	row := m.ColumnAt(sc, 0)
+// normalizedRowInto extracts one subcarrier's user row from a CSI matrix
+// into the caller-owned dst (ColumnInto reuse contract), scaled by a
+// precomputed per-user normalization so each user's average channel power
+// is 1 (per-user SNR is then applied separately).
+func normalizedRowInto(dst []complex128, m *csi.Matrix, sc int, scale float64) []complex128 {
+	row := m.ColumnInto(dst, sc, 0)
 	if scale > 0 {
 		for i := range row {
 			row[i] /= complex(scale, 0)
@@ -134,7 +112,9 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 	}
 	bits := make([]float64, n)
 	var fbTime float64
-	var weights [][][]complex128 // [subcarrier][user][tx]
+	var wc muWeights
+	var weights [][][]complex128 // [subcarrier][user][tx]; nil entry = singular
+	var hRow []complex128        // per-subcarrier row scratch for the SINR loop
 
 	subc := users[0].Chan.Config().Subcarriers
 	t := 0.0
@@ -160,7 +140,7 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 			}
 		}
 		if sounded || weights == nil {
-			weights = rebuildWeights(ests, subc)
+			weights = wc.rebuild(ests, subc)
 		}
 		if weights == nil {
 			t += cfg.FrameTime
@@ -175,17 +155,21 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 			snrLin := math.Pow(10, usr.Chan.SNRdB(t)/10) / float64(n) // equal power split
 			var capSum float64
 			for sc := 0; sc < subc; sc++ {
-				h := normalizedRow(truth, sc, scale)
+				hRow = normalizedRowInto(hRow, truth, sc, scale)
+				h := hRow
 				if weights[sc] == nil {
 					continue
 				}
-				sig := sqAbs(dotConj(h, conjVec(weights[sc][u])))
+				// The received amplitude of a precoded stream is h^T w:
+				// dot(h, w) == dotConj(h, conjVec(w)) term for term, without
+				// materializing the conjugated copy.
+				sig := sqAbs(dot(h, weights[sc][u]))
 				var intf float64
 				for j := 0; j < n; j++ {
 					if j == u {
 						continue
 					}
-					intf += sqAbs(dotConj(h, conjVec(weights[sc][j])))
+					intf += sqAbs(dot(h, weights[sc][j]))
 				}
 				sinr := snrLin * sig / (snrLin*intf + 1)
 				capSum += math.Log2(1 + sinr)
@@ -211,27 +195,52 @@ func RunMU(users []MUUser, cfg MUConfig, duration float64) MUResult {
 	return res
 }
 
-// rebuildWeights recomputes per-subcarrier ZF precoders from the current
-// estimates; nil users (never sounded) disable precoding entirely.
-func rebuildWeights(ests []*csi.Matrix, subc int) [][][]complex128 {
+// muWeights owns the long-lived buffers behind the per-subcarrier ZF
+// precoders: the solver scratch, one weight buffer per subcarrier (kept
+// across rebuilds even when a subcarrier goes singular), and the row/scale
+// scratch. It belongs to one RunMU invocation's goroutine.
+type muWeights struct {
+	solver ZFSolver
+	buf    [][][]complex128 // persistent storage, one entry per subcarrier
+	out    [][][]complex128 // view returned to RunMU: buf[sc] or nil on singular
+	rows   [][]complex128
+	scales []float64
+}
+
+// rebuild recomputes per-subcarrier ZF precoders from the current
+// estimates; nil users (never sounded) disable precoding entirely. The
+// returned slice is owned by the muWeights and valid until the next call.
+func (w *muWeights) rebuild(ests []*csi.Matrix, subc int) [][][]complex128 {
 	for _, e := range ests {
 		if e == nil {
 			return nil
 		}
 	}
-	scales := make([]float64, len(ests))
+	n := len(ests)
+	if len(w.buf) < subc {
+		w.buf = make([][][]complex128, subc)
+		w.out = make([][][]complex128, subc)
+	}
+	if len(w.rows) < n {
+		w.rows = make([][]complex128, n)
+		w.scales = make([]float64, n)
+	}
 	for u, e := range ests {
-		scales[u] = math.Sqrt(e.AvgPower())
+		w.scales[u] = math.Sqrt(e.AvgPower())
 	}
-	out := make([][][]complex128, subc)
 	for sc := 0; sc < subc; sc++ {
-		rows := make([][]complex128, len(ests))
 		for u, e := range ests {
-			rows[u] = normalizedRow(e, sc, scales[u])
+			w.rows[u] = normalizedRowInto(w.rows[u], e, sc, w.scales[u])
 		}
-		out[sc] = ZFWeights(rows)
+		var ok bool
+		w.buf[sc], ok = w.solver.WeightsInto(w.rows[:n], w.buf[sc])
+		if ok {
+			w.out[sc] = w.buf[sc]
+		} else {
+			w.out[sc] = nil
+		}
 	}
-	return out
+	return w.out[:subc]
 }
 
 func sqAbs(v complex128) float64 {

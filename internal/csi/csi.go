@@ -288,13 +288,25 @@ func (m *Matrix) FeedbackBits(bitsPerComponent int) int {
 
 // ColumnAt returns the NTx-element channel vector from all transmit
 // antennas to receive antenna rx on subcarrier sc — the per-user channel
-// row used by MU-MIMO precoding.
+// row used by MU-MIMO precoding. Hot paths should prefer ColumnInto with a
+// reused buffer.
 func (m *Matrix) ColumnAt(sc, rx int) []complex128 {
-	out := make([]complex128, m.NTx)
-	for tx := 0; tx < m.NTx; tx++ {
-		out[tx] = m.At(sc, tx, rx)
+	return m.ColumnInto(nil, sc, rx)
+}
+
+// ColumnInto is ColumnAt writing into the caller-owned dst, following the
+// CloneInto reuse contract: dst is grown only when its capacity is
+// insufficient, so steady-state callers that pass the previous return
+// value back in never allocate.
+func (m *Matrix) ColumnInto(dst []complex128, sc, rx int) []complex128 {
+	if cap(dst) < m.NTx {
+		dst = make([]complex128, m.NTx)
 	}
-	return out
+	dst = dst[:m.NTx]
+	for tx := 0; tx < m.NTx; tx++ {
+		dst[tx] = m.At(sc, tx, rx)
+	}
+	return dst
 }
 
 // Scale multiplies every entry by the real factor s, in place, and returns m.

@@ -23,6 +23,16 @@ var updateGolden = flag.Bool("update", false, "rewrite golden trace files under 
 // Together they cover the mobility → channel → CSI → classifier →
 // protocol pipeline end to end, so any change to the numeric behaviour of
 // those layers shows up as a byte-level diff here.
+//
+// RNG-draw-order note: deduplicating the current AP's per-tick measurement
+// in sim.RunWLAN removed one MeasureInto (a full set of CSI-noise
+// Gaussians plus one RSSI draw) per roaming tick from the current AP's
+// noise stream, so any golden that exercised RunWLAN would have shifted.
+// None of the cases here do — the committed files were regenerated with
+// -update after that change and came out byte-identical. The
+// coherence-aware channel cache, by contrast, is bit-identical by design
+// (it never touches a noise RNG) and left these files unchanged with the
+// cache enabled.
 var goldenCases = []struct {
 	id    string
 	scale float64

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Concurrency-discipline checks: sync primitives must be shared by
@@ -209,6 +210,93 @@ var goCaptureCheck = &Check{
 			})
 		}
 	},
+}
+
+var modelCaptureCheck = &Check{
+	Name: "model-capture",
+	Doc:  "goroutines must not capture a channel.Model or a lock-free struct holding one; the model's response cache is single-owner state, so pass it as an argument or build it inside the goroutine",
+	Run: func(ctx *Context) {
+		for _, file := range ctx.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				reported := map[*types.Var]bool{}
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj, ok := ctx.Pkg.Info.Uses[id].(*types.Var)
+					if !ok || obj.IsField() || reported[obj] {
+						return true
+					}
+					if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+						return true // declared inside the literal
+					}
+					if modelLike(obj.Type()) {
+						reported[obj] = true
+						ctx.Reportf(id.Pos(), "goroutine captures %s %q, whose channel.Model response cache belongs to the spawning goroutine; pass the model as a call argument or construct it inside the goroutine", typeName(ctx, obj.Type()), obj.Name())
+					}
+					return true
+				})
+				return true
+			})
+		}
+	},
+}
+
+// modelLike reports whether t is a channel.Model, or a struct holding
+// one WITHOUT any lock of its own (mac.Link is the canonical case). A
+// holder that bundles its model with a sync primitive is taken to
+// serialize access and is allowed.
+func modelLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isChannelModel(t) {
+		return true
+	}
+	base := t
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	st, ok := base.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	if containsLock(base) {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isChannelModel(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isChannelModel reports whether t is (a pointer to) the channel
+// package's Model type. Matched by package-path suffix so fixture
+// packages under testdata resolve the same named type.
+func isChannelModel(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == "Model" && strings.HasSuffix(obj.Pkg().Path(), "internal/channel")
 }
 
 // lookupNetConn finds the net.Conn interface via the package's

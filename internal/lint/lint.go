@@ -8,9 +8,11 @@
 //     into series or rendered output (checks time-now, math-rand,
 //     unseeded-rng, map-order);
 //   - concurrency discipline: sync primitives must not be copied or
-//     passed by value, and goroutines in the protocol/fan-out packages
-//     must not capture shared connections without synchronization
-//     (checks lock-copy, lock-param, go-capture);
+//     passed by value, goroutines in the protocol/fan-out packages
+//     must not capture shared connections without synchronization, and
+//     no goroutine anywhere may capture a channel.Model — its response
+//     cache is single-owner state (checks lock-copy, lock-param,
+//     go-capture, model-capture);
 //   - error hygiene: error results must not be silently dropped, and
 //     wrapped errors must use %w so errors.Is/As keep working (checks
 //     discarded-error, errorf-wrap);
@@ -74,6 +76,7 @@ var Checks = []*Check{
 	lockCopyCheck,
 	lockParamCheck,
 	goCaptureCheck,
+	modelCaptureCheck,
 	discardedErrorCheck,
 	errorfWrapCheck,
 	pkgDocCheck,

@@ -1,0 +1,74 @@
+// Package modelcap exercises the model-capture check: a channel.Model
+// memoizes its frequency response in a single-owner cache, so a
+// goroutine must not capture a model — or a lock-free holder such as
+// mac.Link — from its spawner.
+package modelcap
+
+import (
+	"sync"
+
+	"mobiwlan/internal/channel"
+	"mobiwlan/internal/mac"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+)
+
+// owner bundles a model with the mutex that serializes access — the
+// synchronized shape the check accepts.
+type owner struct {
+	mu sync.Mutex
+	ch *channel.Model
+}
+
+// Leak spawns a goroutine that shares the spawner's model.
+func Leak(m *channel.Model, out chan<- float64) {
+	go func() {
+		out <- m.MeanRSSI(0) // want model-capture
+	}()
+}
+
+// LeakLink captures a mac.Link, a lock-free struct holding the model
+// one field deep.
+func LeakLink(l *mac.Link, out chan<- float64) {
+	go func() {
+		out <- l.Chan.MeanRSSI(0) // want model-capture
+	}()
+}
+
+// Handoff transfers the model as a call argument: ownership moves to
+// the goroutine, allowed.
+func Handoff(m *channel.Model, out chan<- float64) {
+	go probe(m, out)
+}
+
+func probe(m *channel.Model, out chan<- float64) {
+	out <- m.MeanRSSI(0)
+}
+
+// Synchronized captures an owner whose model access is mutex-guarded:
+// allowed.
+func Synchronized(o *owner, out chan<- float64) {
+	go func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		out <- o.ch.MeanRSSI(0)
+	}()
+}
+
+// Fresh builds its own model inside the goroutine — the pattern the
+// worker pool and the controller example use: allowed.
+func Fresh(cfg channel.Config, scen *mobility.Scenario, rng *stats.RNG, out chan<- float64) {
+	go func() {
+		m := channel.New(cfg, scen, rng)
+		out <- m.MeanRSSI(0)
+	}()
+}
+
+// Acknowledged shows the suppression escape hatch for a deliberate
+// ownership transfer into a closure.
+func Acknowledged(m *channel.Model, out chan<- float64) {
+	go func() {
+		//lint:ignore model-capture the goroutine owns the model from spawn to exit
+		out <- m.MeanRSSI(0)
+	}()
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/obs"
+	"mobiwlan/internal/parallel"
+	"mobiwlan/internal/stats"
+)
+
+// fleetTrialBase keys fleet clients' tracers when FleetOptions.TrialBase
+// is zero. It sits above every base in internal/experiments (1M–5M), so a
+// fleet can share an obs.Scope with experiment runs without key
+// collisions.
+const fleetTrialBase = 6_000_000
+
+// FleetOptions configures RunWLANFleet, the multi-client scale harness: N
+// independent clients, each walking its own scenario against the shared
+// AP plan, sharded over internal/parallel.
+type FleetOptions struct {
+	// Clients is the number of independent clients to simulate.
+	Clients int
+	// Jobs is the worker count (0 means one per CPU). Results are
+	// byte-identical for any value — per-client state derives only from
+	// the fleet seed and the client index.
+	Jobs int
+	// MotionAware selects the protocol stack for every client, as in
+	// WLANOptions.
+	MotionAware bool
+	// Duration overrides the per-client scenario length in seconds; 0
+	// keeps the scene default.
+	Duration float64
+	// Obs, when non-nil, collects fleet, classifier, MAC, rate-control,
+	// and handoff telemetry across all clients; TrialBase keys the
+	// per-client tracers (client i uses TrialBase+i; 0 means the fleet
+	// default base, disjoint from the experiment bases).
+	Obs       *obs.Scope
+	TrialBase int
+}
+
+// ClientResult is one fleet client's outcome.
+type ClientResult struct {
+	// Client is the client index within the fleet.
+	Client int
+	// Mode is the ground-truth mobility class the client was assigned.
+	Mode mobility.Mode
+	WLANResult
+}
+
+// FleetResult aggregates a fleet run.
+type FleetResult struct {
+	// PerClient holds each client's result, in client order.
+	PerClient []ClientResult
+	// TotalMbps sums goodput over all clients; MeanMbps divides by the
+	// fleet size.
+	TotalMbps, MeanMbps float64
+	// Handoffs and Scans sum the per-client counts.
+	Handoffs, Scans int
+}
+
+// RunWLANFleet simulates opt.Clients independent clients against the
+// shared AP plan. Mobility modes are assigned round-robin over the four
+// ground-truth classes, so a fleet mixes static, environmental, micro and
+// macro clients the way a building does. Each client's scenario and
+// simulation seed derive from Split(seed, client index) alone, so results
+// are byte-identical for any Jobs value (the repo's RNG-split/trial-key
+// determinism contract).
+func RunWLANFleet(opt FleetOptions, seed uint64) FleetResult {
+	n := opt.Clients
+	res := FleetResult{}
+	if n <= 0 {
+		return res
+	}
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = parallel.DefaultJobs()
+	}
+	trialBase := opt.TrialBase
+	if trialBase == 0 {
+		trialBase = fleetTrialBase
+	}
+	clients := opt.Obs.Registry().Counter("sim.fleet.clients")
+
+	res.PerClient = parallel.RunTrials(n, jobs, func(i int) ClientResult {
+		base := stats.NewRNG(seed).Split(uint64(i) + 1)
+		mode := mobility.AllModes[i%len(mobility.AllModes)]
+		scfg := mobility.DefaultSceneConfig()
+		if opt.Duration > 0 {
+			scfg.Duration = opt.Duration
+		}
+		scen := mobility.NewScenario(mode, scfg, base.Split(1))
+		w := DefaultWLANOptions(opt.MotionAware)
+		w.Obs = opt.Obs
+		w.Trial = trialBase + i
+		r := RunWLAN(scen, w, base.Split(2).Uint64())
+		clients.Inc()
+		return ClientResult{Client: i, Mode: mode, WLANResult: r}
+	})
+	for _, c := range res.PerClient {
+		res.TotalMbps += c.Mbps
+		res.Handoffs += c.Handoffs
+		res.Scans += c.Scans
+	}
+	res.MeanMbps = res.TotalMbps / float64(n)
+	return res
+}

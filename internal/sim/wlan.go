@@ -164,15 +164,16 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 			}
 		}
 
-		// Roaming decisions on the tick boundary.
+		// Roaming decisions on the tick boundary. The current AP is
+		// measured once, inside the loop over all APs: it used to get an
+		// extra MeasureInto just to fill CurRSSI, which both did double
+		// work and advanced its noise RNG by one extra draw sequence per
+		// tick.
 		if t >= nextTick {
 			nextTick = t + tick
-			curSample := links[cur].Chan.MeasureInto(t, csiBuf)
-			csiBuf = curSample.CSI
 			view := roaming.Observation{
 				T:           t,
 				Cur:         cur,
-				CurRSSI:     curSample.RSSIdBm,
 				InfraRSSI:   make([]float64, nAP),
 				State:       cls.State(),
 				Approaching: make([]bool, nAP),
@@ -183,6 +184,7 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 				view.InfraRSSI[i] = s.RSSIdBm
 				view.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
 			}
+			view.CurRSSI = view.InfraRSSI[cur]
 			if scanPending && t >= busyUntil {
 				view.ScanRSSI = view.InfraRSSI
 				view.ScanValid = true

@@ -13,7 +13,9 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
+	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mac"
+	"mobiwlan/internal/medium"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/obs"
 	"mobiwlan/internal/phy"
@@ -203,6 +205,65 @@ func TestZFWeightsIntoAllocFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, step)
 	if allocs != 0 {
 		t.Fatalf("WeightsInto with warm buffers: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEventHeapAllocFree pins the contended fleet's serialization point:
+// once the heap's backing array has grown to the fleet size, balanced
+// Push/Pop traffic must not allocate.
+func TestEventHeapAllocFree(t *testing.T) {
+	h := medium.NewEventHeap(8)
+	for i := 0; i < 8; i++ {
+		h.Push(medium.Event{T: float64(i), BSS: i % 3, Client: i})
+	}
+	i := 8
+	allocs := testing.AllocsPerRun(100, func() {
+		e := h.Pop()
+		e.T = float64(i)
+		i++
+		h.Push(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("EventHeap Push/Pop steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestMediumReserveAllocFree pins the shared-medium arbitration loop: once
+// the waiter queue, round scratch, pending-grant list, and interference
+// scan have warmed up, a steady mix of immediate grants, deferrals,
+// contention rounds, and cross-domain OBSS checks must not allocate.
+func TestMediumReserveAllocFree(t *testing.T) {
+	m := medium.New(medium.DefaultConfig())
+	m.AddBSS(geom.Pt(0, 0), 0)
+	m.AddBSS(geom.Pt(60, 0), 0) // separate co-channel domain: OBSS scan path
+	for i := 0; i < 3; i++ {
+		m.AddStation(stats.NewRNG(uint64(i) + 1))
+	}
+	// Stations 0 and 1 contend for BSS 0; station 2 runs alone in the
+	// second domain, overlapping them. One step drives the mini event
+	// loop by one pop/reserve/push cycle.
+	h := medium.NewEventHeap(3)
+	bssOf := []int{0, 0, 1}
+	posOf := []geom.Point{geom.Pt(3, 0), geom.Pt(-3, 0), geom.Pt(57, 0)}
+	const dur = 0.002
+	for c := 0; c < 3; c++ {
+		h.Push(medium.Event{T: float64(c) * dur / 2, BSS: bssOf[c], Client: c})
+	}
+	step := func() {
+		ev := h.Pop()
+		g := m.Reserve(ev.Client, bssOf[ev.Client], ev.T, dur, posOf[ev.Client])
+		if !g.Granted {
+			h.Push(medium.Event{T: g.RetryAt, BSS: ev.BSS, Client: ev.Client})
+			return
+		}
+		h.Push(medium.Event{T: g.Start + dur + dur/4, BSS: ev.BSS, Client: ev.Client})
+	}
+	for i := 0; i < 200; i++ { // warm every internal slice
+		step()
+	}
+	allocs := testing.AllocsPerRun(200, step)
+	if allocs != 0 {
+		t.Fatalf("Medium.Reserve steady state: %v allocs/op, want 0", allocs)
 	}
 }
 

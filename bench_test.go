@@ -264,6 +264,26 @@ func BenchmarkWLANFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkContendedFleet tracks the shared-medium event loop: the
+// BenchmarkWLANFleet workload routed through CSMA/CA contention and OBSS
+// accounting (ns/op is cost per fleet-sim-second; the fleet and duration
+// match BenchmarkWLANFleet so the two are directly comparable — the gap
+// between them is what medium arbitration costs). Jobs is irrelevant (the
+// contended loop is serial) and the seed is fixed so allocs/op stays
+// exact across runs (see benchLinkSecond).
+func BenchmarkContendedFleet(b *testing.B) {
+	opt := sim.FleetOptions{Clients: 4, Duration: 1, MotionAware: true, Contend: true}
+	_ = sim.RunWLANFleet(opt, 42) // warm lazy state outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.RunWLANFleet(opt, 42)
+		if res.Contend == nil || len(res.PerClient) != opt.Clients {
+			b.Fatal("bad contended fleet result")
+		}
+	}
+}
+
 func BenchmarkRoamingRunSecond(b *testing.B) {
 	cfg := mobility.DefaultSceneConfig()
 	cfg.Duration = 1

@@ -90,6 +90,11 @@ func cmdFleet(args []string) {
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	aware := fs.Bool("motion-aware", true, "use the mobility-aware stack")
 	quiet := fs.Bool("quiet", false, "suppress per-client lines")
+	contend := fs.Bool("contend", false, "share the medium: CSMA/CA contention + OBSS interference")
+	aps := fs.Int("aps", 0, "AP count for the contended grid plan (0 = the 6-AP default floor)")
+	channels := fs.Int("channels", 0, "channel count for the contended plan (0 = 3)")
+	csRange := fs.Float64("cs-range", 0, "AP-to-AP carrier-sense range in meters (0 = 25)")
+	maxAPs := fs.Int("max-aps", 0, "APs each contended client simulates links to (0 = all)")
 	ofl := addObsFlags(fs)
 	parseArgs(fs, args)
 
@@ -99,6 +104,11 @@ func cmdFleet(args []string) {
 		MotionAware: *aware,
 		Duration:    *duration,
 		Obs:         ofl.Scope(),
+		Contend:     *contend,
+		APs:         *aps,
+		NumChannels: *channels,
+		CSRangeM:    *csRange,
+		MaxAPs:      *maxAPs,
 	}
 	defer ofl.Finish()
 	res := sim.RunWLANFleet(opt, *seed)
@@ -110,6 +120,17 @@ func cmdFleet(args []string) {
 	}
 	fmt.Printf("fleet: %d clients x %.0f s, total %.1f Mbps, mean %.2f Mbps, %d handoffs, %d scans\n",
 		*clients, *duration, res.TotalMbps, res.MeanMbps, res.Handoffs, res.Scans)
+	if cs := res.Contend; cs != nil {
+		if !*quiet {
+			for b, s := range cs.BSS {
+				fmt.Printf("bss %3d  ch %d dom %2d  %6d frames  %5d collisions  %6d deferrals  %7.3f s airtime\n",
+					b, s.Channel, s.Domain, s.Frames, s.Collisions, s.Deferrals, s.AirtimeS)
+			}
+		}
+		m := cs.MPDU
+		fmt.Printf("medium: %d domains, mpdus %d offered = %d delivered + %d per + %d collision + %d obss\n",
+			len(cs.Domains), m.Offered, m.Delivered, m.PERLost, m.CollisionLost, m.OBSSLost)
+	}
 }
 
 // parseArgs parses args into fs. Every subcommand FlagSet uses

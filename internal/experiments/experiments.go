@@ -46,11 +46,12 @@ func DefaultConfig() Config { return Config{Seed: 2014, Scale: 1} }
 // experiment derives its tracer keys from its own base to keep the key
 // space globally disjoint (DESIGN.md §9).
 const (
-	trialsTable1 = 1_000_000 // + mode*10_000 + trial
-	trialsFig9a  = 2_000_000 // + link*2 + {0: stock, 1: motion-aware}
-	trialsFig13  = 3_000_000 // + walk*2 + {0: default, 1: motion-aware}
-	trialsFig7b  = 4_000_000 // + case*100_000 + trial
-	trialsFig11b = 5_000_000 // + link*2 + {0: fixed, 1: adaptive}
+	trialsTable1  = 1_000_000 // + mode*10_000 + trial
+	trialsFig9a   = 2_000_000 // + link*2 + {0: stock, 1: motion-aware}
+	trialsFig13   = 3_000_000 // + walk*2 + {0: default, 1: motion-aware}
+	trialsFig7b   = 4_000_000 // + case*100_000 + trial
+	trialsFig11b  = 5_000_000 // + link*2 + {0: fixed, 1: adaptive}
+	trialsContend = 7_000_000 // + client (6M is the sim fleet default base)
 )
 
 // jobs returns the effective worker count for trial fan-out.

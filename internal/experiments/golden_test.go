@@ -42,6 +42,12 @@ var goldenCases = []struct {
 	{id: "fig2b", scale: 0.2},
 	{id: "fig6a", scale: 0.15, slow: true},
 	{id: "fig9a", scale: 0.1, slow: true},
+	// Shared-medium contention canon: two clients fighting over one AP
+	// (pure CSMA/CA collisions) and two co-channel out-of-CS-range APs
+	// (OBSS interference). Their MPDU reconciliation lines pin the
+	// medium's conservation laws byte-for-byte.
+	{id: "cont1ap", scale: 0.2},
+	{id: "obss2ap", scale: 0.2},
 }
 
 // goldenSeed is fixed and disjoint from the calibration seeds used inside

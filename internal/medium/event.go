@@ -1,0 +1,92 @@
+package medium
+
+// Event is one entry in the shared-medium schedule: "the station (BSS,
+// Client) is ready to act at sim-time T". The contended fleet driver keeps
+// exactly one live event per client, so the heap size is bounded by the
+// fleet size and pops are the serialization points of the simulation.
+type Event struct {
+	// T is the sim-time the event fires at, in seconds.
+	T float64
+	// BSS is the station's current BSS (global AP index) — the second
+	// tie-break key.
+	BSS int
+	// Client is the fleet-wide client index — the final tie-break key.
+	Client int
+}
+
+// less is the deterministic event ordering: earliest time first, ties
+// broken by BSS id, then by client index. This total order is part of the
+// determinism contract (DESIGN.md, "Shared-medium contention"): two runs
+// that push the same events pop them in the same sequence, regardless of
+// push order.
+func (e Event) less(o Event) bool {
+	if e.T != o.T {
+		return e.T < o.T
+	}
+	if e.BSS != o.BSS {
+		return e.BSS < o.BSS
+	}
+	return e.Client < o.Client
+}
+
+// EventHeap is a binary min-heap of Events under the (T, BSS, Client)
+// order. It is a concrete heap (no container/heap interface boxing) so
+// steady-state Push/Pop do not allocate once the backing array has grown
+// to the fleet size.
+type EventHeap struct {
+	ev []Event
+}
+
+// NewEventHeap returns a heap with capacity pre-sized for n events.
+func NewEventHeap(n int) *EventHeap {
+	if n < 0 {
+		n = 0
+	}
+	return &EventHeap{ev: make([]Event, 0, n)}
+}
+
+// Len returns the number of queued events.
+func (h *EventHeap) Len() int { return len(h.ev) }
+
+// Push queues an event.
+func (h *EventHeap) Push(e Event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.ev[i].less(h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum event under the (T, BSS, Client)
+// order. It panics on an empty heap.
+func (h *EventHeap) Pop() Event {
+	if len(h.ev) == 0 {
+		panic("medium: Pop on empty EventHeap")
+	}
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && h.ev[l].less(h.ev[min]) {
+			min = l
+		}
+		if r < last && h.ev[r].less(h.ev[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
+	return top
+}

@@ -1,0 +1,126 @@
+package medium
+
+import (
+	"sort"
+	"testing"
+
+	"mobiwlan/internal/stats"
+)
+
+// TestEventHeapOrdering pins the documented deterministic pop order: time
+// ascending, ties broken by BSS id, then client index.
+func TestEventHeapOrdering(t *testing.T) {
+	h := NewEventHeap(8)
+	in := []Event{
+		{T: 2, BSS: 0, Client: 0},
+		{T: 1, BSS: 1, Client: 3},
+		{T: 1, BSS: 0, Client: 5},
+		{T: 1, BSS: 0, Client: 2},
+		{T: 0.5, BSS: 9, Client: 9},
+		{T: 1, BSS: 1, Client: 0},
+	}
+	for _, e := range in {
+		h.Push(e)
+	}
+	want := []Event{
+		{T: 0.5, BSS: 9, Client: 9},
+		{T: 1, BSS: 0, Client: 2},
+		{T: 1, BSS: 0, Client: 5},
+		{T: 1, BSS: 1, Client: 0},
+		{T: 1, BSS: 1, Client: 3},
+		{T: 2, BSS: 0, Client: 0},
+	}
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.Len())
+	}
+}
+
+// TestEventHeapRandomized drives the heap with seeded random interleavings
+// of pushes and pops and asserts the two invariants the contended fleet
+// depends on: pops are nondecreasing under (T, BSS, Client), and no event
+// is lost, duplicated, or invented.
+func TestEventHeapRandomized(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := stats.NewRNG(seed)
+		h := NewEventHeap(0)
+		var pushed, popped []Event
+		for op := 0; op < 500; op++ {
+			if h.Len() == 0 || rng.Float64() < 0.6 {
+				e := Event{
+					T:      float64(rng.Intn(50)) / 10,
+					BSS:    rng.Intn(5),
+					Client: rng.Intn(20),
+				}
+				h.Push(e)
+				pushed = append(pushed, e)
+			} else {
+				popped = append(popped, h.Pop())
+			}
+		}
+		for h.Len() > 0 {
+			popped = append(popped, h.Pop())
+		}
+		if len(popped) != len(pushed) {
+			t.Fatalf("seed %d: pushed %d events, popped %d", seed, len(pushed), len(popped))
+		}
+		// Multiset equality: sorting both sequences under the total order
+		// must give identical slices.
+		sort.Slice(pushed, func(i, j int) bool { return pushed[i].less(pushed[j]) })
+		sorted := append([]Event(nil), popped...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
+		for i := range pushed {
+			if pushed[i] != sorted[i] {
+				t.Fatalf("seed %d: event multiset mismatch at %d: %+v vs %+v",
+					seed, i, pushed[i], sorted[i])
+			}
+		}
+	}
+}
+
+// TestEventHeapPopEmptyPanics pins the misuse contract.
+func TestEventHeapPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty heap did not panic")
+		}
+	}()
+	NewEventHeap(0).Pop()
+}
+
+// popAllSorted drains the heap asserting the nondecreasing-order invariant
+// between consecutive pops.
+func popAllSorted(t *testing.T, h *EventHeap) []Event {
+	t.Helper()
+	var out []Event
+	for h.Len() > 0 {
+		e := h.Pop()
+		if n := len(out); n > 0 && e.less(out[n-1]) {
+			t.Fatalf("pop order regressed: %+v after %+v", e, out[n-1])
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestEventHeapDuplicates ensures equal events survive as distinct entries.
+func TestEventHeapDuplicates(t *testing.T) {
+	h := NewEventHeap(4)
+	e := Event{T: 1, BSS: 2, Client: 3}
+	h.Push(e)
+	h.Push(e)
+	h.Push(e)
+	out := popAllSorted(t, h)
+	if len(out) != 3 {
+		t.Fatalf("3 pushes, %d pops", len(out))
+	}
+	for _, got := range out {
+		if got != e {
+			t.Fatalf("duplicate event mutated: %+v", got)
+		}
+	}
+}

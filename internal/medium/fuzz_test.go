@@ -1,0 +1,73 @@
+package medium
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzMediumSchedule decodes the fuzz input into an interleaving of pushes
+// and pops against an EventHeap and checks it against a reference model (a
+// sorted shadow multiset): every pop must return exactly the minimum of
+// the events currently queued under the (T, BSS, Client) order, and after
+// the final drain nothing may be lost, duplicated, or invented.
+func FuzzMediumSchedule(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 0xFF})
+	seed := make([]byte, 0, 64)
+	for i := byte(0); i < 16; i++ {
+		seed = append(seed, i, i^0x5a, i<<2, 0xFF)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewEventHeap(0)
+		var model []Event // kept sorted ascending under less
+		insert := func(e Event) {
+			i := sort.Search(len(model), func(i int) bool { return e.less(model[i]) })
+			model = append(model, Event{})
+			copy(model[i+1:], model[i:])
+			model[i] = e
+		}
+		expectPop := func() {
+			t.Helper()
+			got := h.Pop()
+			if got != model[0] {
+				t.Fatalf("Pop = %+v, want current minimum %+v (queue %d deep)",
+					got, model[0], len(model))
+			}
+			model = model[1:]
+		}
+
+		for i := 0; i < len(data); {
+			op := data[i]
+			i++
+			if op == 0xFF {
+				// Pop (skipped on an empty heap: the panic contract is
+				// covered by TestEventHeapPopEmptyPanics).
+				if h.Len() > 0 {
+					expectPop()
+				}
+				continue
+			}
+			// Push: consume up to 4 more bytes for the event fields.
+			var raw [4]byte
+			n := copy(raw[:], data[i:])
+			i += n
+			v := binary.LittleEndian.Uint32(raw[:])
+			e := Event{
+				T:      float64(op%64) / 8,
+				BSS:    int(v % 7),
+				Client: int((v >> 8) % 31),
+			}
+			h.Push(e)
+			insert(e)
+		}
+		for h.Len() > 0 {
+			expectPop()
+		}
+		if len(model) != 0 {
+			t.Fatalf("%d events lost by the heap", len(model))
+		}
+	})
+}

@@ -1,0 +1,557 @@
+// Package medium serializes frames from every client on a channel through
+// a shared wireless medium: a deterministic discrete-event CSMA/CA model
+// with per-AP channel assignment and co-channel OBSS interference between
+// carrier-sense domains.
+//
+// The model is deliberately simplified but keeps the mechanisms that make
+// multi-client WLAN claims honest:
+//
+//   - Busy-medium deferral: a station that wants the channel while another
+//     BSS in its carrier-sense domain is transmitting waits for the busy
+//     period to end.
+//   - Contention rounds: every station waiting at a busy→idle transition
+//     draws a backoff in [0, CW) slots from its own RNG split; the minimum
+//     draw wins the channel after DIFS + backoff slots. Stations that tie
+//     on the minimum transmit simultaneously and collide (all their MPDUs
+//     are lost); losers re-contend at the next transition. A station's CW
+//     doubles after each collision (up to CWMax) and resets on a clean
+//     grant.
+//   - OBSS interference: APs on the same channel but outside each other's
+//     carrier-sense range form separate contention domains that transmit
+//     concurrently. A grant that overlaps a transmission in another
+//     co-channel domain reports the interference power received at the
+//     client (distance path loss from the interfering AP), which the
+//     caller feeds into the PER model as an SINR degradation.
+//
+// Determinism contract (DESIGN.md, "Shared-medium contention"): stations
+// draw backoffs in waiter order, which is sorted by (BSS, client index);
+// the driver pops ready events in (time, BSS, client) order; and all
+// randomness comes from per-station RNG splits handed in at registration.
+// Two runs with the same configuration and seeds are therefore
+// bit-identical, at any worker count.
+package medium
+
+import (
+	"math"
+
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/stats"
+)
+
+// NoInterference is the Grant.InterfDBm value when no co-channel overlap
+// occurred.
+const NoInterference = -1e9
+
+// Config holds the CSMA/CA and interference parameters.
+type Config struct {
+	// SlotTime is the backoff slot duration in seconds.
+	SlotTime float64
+	// DIFS is the DCF interframe space charged before a contended grant.
+	DIFS float64
+	// CWMin and CWMax bound the contention window in slots.
+	CWMin, CWMax int
+	// CSRangeM is the AP-to-AP carrier-sense range in meters: co-channel
+	// APs within this range share one contention domain; beyond it they
+	// transmit concurrently and interfere (OBSS).
+	CSRangeM float64
+	// TxPowerDBm is the transmit power used for interference estimates.
+	TxPowerDBm float64
+	// NoiseFloorDBm is the receiver noise floor (exported to callers that
+	// convert interference power into an SINR).
+	NoiseFloorDBm float64
+	// CarrierHz sets the wavelength of the free-space term of the
+	// interference path loss.
+	CarrierHz float64
+	// PathLossExponent and PathLossBreakM mirror the channel model's
+	// breakpoint distance-power law for the interference estimate.
+	PathLossExponent float64
+	// PathLossBreakM is the breakpoint distance in meters.
+	PathLossBreakM float64
+}
+
+// DefaultConfig mirrors 802.11n (5 GHz) timing and the channel package's
+// default radio parameters.
+func DefaultConfig() Config {
+	return Config{
+		SlotTime:         9e-6,
+		DIFS:             34e-6,
+		CWMin:            16,
+		CWMax:            1024,
+		CSRangeM:         25,
+		TxPowerDBm:       18,
+		NoiseFloorDBm:    -92,
+		CarrierHz:        5.825e9,
+		PathLossExponent: 3.5,
+		PathLossBreakM:   5,
+	}
+}
+
+// Grant is the medium's answer to a Reserve call.
+type Grant struct {
+	// Granted reports whether the channel was acquired. When false the
+	// station must retry at RetryAt (it has been queued as a waiter).
+	Granted bool
+	// RetryAt is the sim-time to retry a deferred reservation at.
+	RetryAt float64
+	// Start is the granted transmission start time (>= the request time;
+	// contended grants start after DIFS + the winning backoff).
+	Start float64
+	// Collided marks a grant that tied another station's backoff draw:
+	// both transmit simultaneously and every MPDU of both frames is lost.
+	Collided bool
+	// InterfDBm is the strongest co-channel OBSS interference power at
+	// the client during the granted frame, or NoInterference when no
+	// overlapping transmission exists in another domain.
+	InterfDBm float64
+	// OverlapFrac is the fraction of the granted frame overlapped by the
+	// interfering transmission(s), in [0, 1].
+	OverlapFrac float64
+}
+
+type bssInfo struct {
+	pos     geom.Point
+	channel int
+	domain  int
+
+	frames     uint64
+	collisions uint64
+	deferrals  uint64
+	airtimeS   float64 // exclusive (non-collided) transmit seconds
+}
+
+type station struct {
+	rng     *stats.RNG
+	retries int // consecutive collisions, doubles the CW
+}
+
+type waiter struct {
+	bss, client int
+	dur         float64
+}
+
+type pendingGrant struct {
+	client int
+	g      Grant
+	dur    float64
+}
+
+type domain struct {
+	members []int // bss ids, ascending
+
+	busyUntil  float64
+	busyS      float64 // occupied seconds, collision intervals counted once
+	collisionS float64 // collided occupied seconds, counted once
+	collisions uint64  // collision events (rounds that tied)
+
+	// Last transmission interval, for co-channel OBSS overlap checks.
+	txStart, txEnd float64
+	txBSS          int
+
+	waiters []waiter       // sorted by (bss, client)
+	grants  []pendingGrant // resolved winners awaiting pickup
+	draws   []int          // round-resolution scratch
+	chID    int
+}
+
+// Medium is one shared-spectrum arbiter for a fleet of BSSs and stations.
+// It is not safe for concurrent use: the contended fleet driver serializes
+// all Reserve calls through its event heap.
+type Medium struct {
+	cfg       Config
+	bss       []bssInfo
+	stations  []station
+	domains   []domain
+	finalized bool
+}
+
+// New returns an empty medium with the given configuration.
+func New(cfg Config) *Medium {
+	if cfg.SlotTime <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.CWMin < 1 {
+		cfg.CWMin = 1
+	}
+	if cfg.CWMax < cfg.CWMin {
+		cfg.CWMax = cfg.CWMin
+	}
+	return &Medium{cfg: cfg}
+}
+
+// AddBSS registers an access point at pos on the given channel and returns
+// its BSS id (assignment order). All BSSs must be added before the first
+// Reserve call.
+func (m *Medium) AddBSS(pos geom.Point, channel int) int {
+	if m.finalized {
+		panic("medium: AddBSS after first Reserve")
+	}
+	m.bss = append(m.bss, bssInfo{pos: pos, channel: channel})
+	return len(m.bss) - 1
+}
+
+// AddStation registers a client's contention state and returns its station
+// id (assignment order — the fleet client index). The RNG must be an
+// independent split dedicated to medium draws (backoff and interference
+// survival), so frame-level RNG streams stay untouched by contention.
+func (m *Medium) AddStation(rng *stats.RNG) int {
+	if m.finalized {
+		panic("medium: AddStation after first Reserve")
+	}
+	m.stations = append(m.stations, station{rng: rng})
+	return len(m.stations) - 1
+}
+
+// finalize groups co-channel BSSs within carrier-sense range into
+// contention domains (connected components of the "same channel and within
+// CSRangeM" graph).
+func (m *Medium) finalize() {
+	m.finalized = true
+	parent := make([]int, len(m.bss))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := range m.bss {
+		for j := i + 1; j < len(m.bss); j++ {
+			if m.bss[i].channel != m.bss[j].channel {
+				continue
+			}
+			if m.bss[i].pos.Dist(m.bss[j].pos) > m.cfg.CSRangeM {
+				continue
+			}
+			ri, rj := find(i), find(j)
+			if ri != rj {
+				if rj < ri {
+					ri, rj = rj, ri
+				}
+				parent[rj] = ri
+			}
+		}
+	}
+	// Domain ids in ascending order of their lowest BSS member, so domain
+	// iteration order (and with it OBSS accounting) is deterministic.
+	domOf := make(map[int]int)
+	for i := range m.bss {
+		root := find(i)
+		di, ok := domOf[root]
+		if !ok {
+			di = len(m.domains)
+			domOf[root] = di
+			m.domains = append(m.domains, domain{chID: m.bss[i].channel, txBSS: -1})
+		}
+		m.bss[i].domain = di
+		m.domains[di].members = append(m.domains[di].members, i)
+	}
+}
+
+// cwFor returns the contention window for a station's retry count.
+func (m *Medium) cwFor(retries int) int {
+	cw := m.cfg.CWMin
+	for i := 0; i < retries && cw < m.cfg.CWMax; i++ {
+		cw *= 2
+	}
+	if cw > m.cfg.CWMax {
+		cw = m.cfg.CWMax
+	}
+	return cw
+}
+
+// Reserve asks for the channel of the given BSS for a frame of duration
+// dur starting no earlier than t, on behalf of station client whose
+// receiver sits at pos. It either grants the transmission (Start, possibly
+// Collided, with any OBSS interference level) or defers it: the station
+// must call Reserve again at RetryAt with the same frame.
+//
+// An idle, uncontended channel grants Start == t with no extra overhead:
+// the frame airtime model already charges DIFS and the mean backoff, which
+// keeps a single-client contended run bit-identical to the uncontended
+// simulation path. Deferred grants add the real deferral wait plus
+// DIFS + (drawn backoff) slots on top.
+func (m *Medium) Reserve(client, bss int, t, dur float64, pos geom.Point) Grant {
+	if !m.finalized {
+		m.finalize()
+	}
+	d := &m.domains[m.bss[bss].domain]
+
+	// A previously resolved contention round may already hold our grant.
+	for i := range d.grants {
+		if d.grants[i].client == client {
+			g := d.grants[i].g
+			last := len(d.grants) - 1
+			d.grants[i] = d.grants[last]
+			d.grants = d.grants[:last]
+			m.addOBSS(&g, d, g.Start, dur, pos)
+			return g
+		}
+	}
+
+	if t < d.busyUntil {
+		// Busy: join the waiter queue (if not already in it) and retry at
+		// the busy→idle transition.
+		m.addWaiter(d, bss, client, dur)
+		m.bss[bss].deferrals++
+		return Grant{RetryAt: d.busyUntil}
+	}
+
+	if len(d.waiters) > 0 {
+		// Idle transition with queued contenders: resolve the round.
+		m.addWaiter(d, bss, client, dur)
+		return m.resolveRound(d, client, bss, t, dur, pos)
+	}
+
+	// Idle and uncontended: immediate grant.
+	g := Grant{Granted: true, Start: t, InterfDBm: NoInterference}
+	m.occupy(d, bss, t, t+dur, false)
+	m.bss[bss].frames++
+	m.bss[bss].airtimeS += dur
+	m.stations[client].retries = 0
+	m.addOBSS(&g, d, t, dur, pos)
+	return g
+}
+
+// addWaiter inserts the station into the domain's waiter queue, keeping it
+// sorted by (BSS, client); re-registration updates the stored duration.
+func (m *Medium) addWaiter(d *domain, bss, client int, dur float64) {
+	lo := 0
+	for lo < len(d.waiters) {
+		w := d.waiters[lo]
+		if w.bss == bss && w.client == client {
+			d.waiters[lo].dur = dur
+			return
+		}
+		if w.bss > bss || (w.bss == bss && w.client > client) {
+			break
+		}
+		lo++
+	}
+	d.waiters = append(d.waiters, waiter{})
+	copy(d.waiters[lo+1:], d.waiters[lo:])
+	d.waiters[lo] = waiter{bss: bss, client: client, dur: dur}
+}
+
+// resolveRound runs one contention round among every queued waiter at the
+// idle transition time t: each draws a backoff from its own RNG (in waiter
+// order, which is sorted by BSS then client — the documented determinism
+// discipline), the minimum wins, and ties collide.
+func (m *Medium) resolveRound(d *domain, caller, callerBSS int, t, dur float64, pos geom.Point) Grant {
+	if cap(d.draws) < len(d.waiters) {
+		d.draws = make([]int, len(d.waiters))
+	}
+	draws := d.draws[:len(d.waiters)]
+	minB := -1
+	for i, w := range d.waiters {
+		st := &m.stations[w.client]
+		draws[i] = st.rng.Intn(m.cwFor(st.retries))
+		if minB < 0 || draws[i] < minB {
+			minB = draws[i]
+		}
+	}
+	start := t + m.cfg.DIFS + float64(minB)*m.cfg.SlotTime
+	nWin := 0
+	maxDur := 0.0
+	firstBSS := -1
+	for i, w := range d.waiters {
+		if draws[i] != minB {
+			continue
+		}
+		nWin++
+		if w.dur > maxDur {
+			maxDur = w.dur
+		}
+		if firstBSS < 0 {
+			firstBSS = w.bss
+		}
+	}
+	collided := nWin > 1
+	m.occupy(d, firstBSS, start, start+maxDur, collided)
+
+	// Hand out grants, compact the waiter queue in place, and bump CW
+	// state: winners reset on clean grants and double on collisions;
+	// losers keep their frozen window and re-contend at the next
+	// transition.
+	var callerGrant Grant
+	callerWon := false
+	kept := d.waiters[:0]
+	for i, w := range d.waiters {
+		if draws[i] != minB {
+			kept = append(kept, w)
+			continue
+		}
+		st := &m.stations[w.client]
+		if collided {
+			st.retries++
+			m.bss[w.bss].collisions++
+		} else {
+			st.retries = 0
+			m.bss[w.bss].airtimeS += w.dur
+		}
+		m.bss[w.bss].frames++
+		g := Grant{Granted: true, Start: start, Collided: collided, InterfDBm: NoInterference}
+		if w.client == caller {
+			callerGrant, callerWon = g, true
+		} else {
+			m.grantFor(d, w.client, g, w.dur)
+		}
+	}
+	d.waiters = kept
+
+	if !callerWon {
+		m.bss[callerBSS].deferrals++
+		return Grant{RetryAt: d.busyUntil}
+	}
+	m.addOBSS(&callerGrant, d, start, dur, pos)
+	return callerGrant
+}
+
+// grantFor stores a resolved grant for pickup by the winner's next Reserve
+// call, reusing freed slots so the steady state does not allocate.
+func (m *Medium) grantFor(d *domain, client int, g Grant, dur float64) {
+	d.grants = append(d.grants, pendingGrant{client: client, g: g, dur: dur})
+}
+
+// occupy marks the domain busy for [start, end) and records the interval
+// for OBSS overlap checks. Collision intervals count once toward busy and
+// collision seconds regardless of how many stations transmit in them.
+func (m *Medium) occupy(d *domain, bss int, start, end float64, collided bool) {
+	d.busyS += end - start
+	if collided {
+		d.collisionS += end - start
+		d.collisions++
+	}
+	d.busyUntil = end
+	d.txStart, d.txEnd, d.txBSS = start, end, bss
+}
+
+// addOBSS fills the grant's interference fields from transmissions already
+// in flight in other co-channel domains. Interference is assessed against
+// grants issued earlier in event order; a frame granted later that ends up
+// overlapping this one is not seen (the documented causal simplification —
+// with saturated co-channel domains the two directions average out).
+func (m *Medium) addOBSS(g *Grant, d *domain, start, dur float64, pos geom.Point) {
+	if dur <= 0 {
+		return
+	}
+	interfLin := 0.0
+	overlap := 0.0
+	for i := range m.domains {
+		od := &m.domains[i]
+		if od == d || od.chID != d.chID || od.txBSS < 0 {
+			continue
+		}
+		o := math.Min(start+dur, od.txEnd) - math.Max(start, od.txStart)
+		if o <= 0 {
+			continue
+		}
+		p := m.cfg.TxPowerDBm - m.pathLossDB(m.bss[od.txBSS].pos.Dist(pos))
+		interfLin += math.Pow(10, p/10)
+		if f := o / dur; f > overlap {
+			overlap = f
+		}
+	}
+	if interfLin > 0 {
+		g.InterfDBm = 10 * math.Log10(interfLin)
+		g.OverlapFrac = overlap
+	}
+}
+
+// pathLossDB mirrors the channel model's breakpoint law for interference
+// estimates: free-space 20 log10 d up to the breakpoint, then the indoor
+// exponent beyond it.
+func (m *Medium) pathLossDB(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	pl0 := 20 * math.Log10(4*math.Pi*m.cfg.CarrierHz/299792458.0)
+	brk := m.cfg.PathLossBreakM
+	if brk < 1 {
+		brk = 1
+	}
+	if d <= brk {
+		return pl0 + 20*math.Log10(d)
+	}
+	return pl0 + 20*math.Log10(brk) + 10*m.cfg.PathLossExponent*math.Log10(d/brk)
+}
+
+// BSSStats is one BSS's contention outcome.
+type BSSStats struct {
+	// Channel is the BSS's assigned channel.
+	Channel int
+	// Domain is the contention-domain index the BSS landed in.
+	Domain int
+	// Frames counts granted transmissions (clean + collided).
+	Frames uint64
+	// Collisions counts granted transmissions that collided.
+	Collisions uint64
+	// Deferrals counts busy-medium deferral events (including lost
+	// contention rounds).
+	Deferrals uint64
+	// AirtimeS is the BSS's exclusive occupancy: the summed duration of
+	// its non-collided frames.
+	AirtimeS float64
+}
+
+// DomainStats is one contention domain's aggregate occupancy.
+type DomainStats struct {
+	// Channel the domain operates on.
+	Channel int
+	// BSS lists the member BSS ids, ascending.
+	BSS []int
+	// BusyS is the total occupied time (collision intervals counted once).
+	BusyS float64
+	// CollisionS is the collided occupied time (counted once per interval).
+	CollisionS float64
+	// Collisions counts contention rounds that ended in a collision.
+	Collisions uint64
+}
+
+// Stats is a snapshot of the medium's accounting. The conservation law
+// tested by the contention suite: for every domain,
+// sum(member BSS AirtimeS) + CollisionS == BusyS, and BusyS never exceeds
+// the elapsed sim-time.
+type Stats struct {
+	// BSS is indexed by BSS id.
+	BSS []BSSStats
+	// Domains is indexed by domain id.
+	Domains []DomainStats
+}
+
+// Stats returns a copy of the per-BSS and per-domain accounting.
+func (m *Medium) Stats() Stats {
+	if !m.finalized {
+		m.finalize()
+	}
+	s := Stats{
+		BSS:     make([]BSSStats, len(m.bss)),
+		Domains: make([]DomainStats, len(m.domains)),
+	}
+	for i, b := range m.bss {
+		s.BSS[i] = BSSStats{
+			Channel:    b.channel,
+			Domain:     b.domain,
+			Frames:     b.frames,
+			Collisions: b.collisions,
+			Deferrals:  b.deferrals,
+			AirtimeS:   b.airtimeS,
+		}
+	}
+	for i := range m.domains {
+		d := &m.domains[i]
+		members := make([]int, len(d.members))
+		copy(members, d.members)
+		s.Domains[i] = DomainStats{
+			Channel:    d.chID,
+			BSS:        members,
+			BusyS:      d.busyS,
+			CollisionS: d.collisionS,
+			Collisions: d.collisions,
+		}
+	}
+	return s
+}

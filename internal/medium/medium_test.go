@@ -1,0 +1,328 @@
+package medium
+
+import (
+	"math"
+	"testing"
+
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/stats"
+)
+
+func newTestMedium(csRange float64) *Medium {
+	cfg := DefaultConfig()
+	cfg.CSRangeM = csRange
+	return New(cfg)
+}
+
+// TestImmediateGrant pins the uncontended fast path: an idle channel with
+// no waiters grants at exactly the requested time with no extra overhead —
+// the property that keeps a single contended client bit-identical to the
+// uncontended simulation.
+func TestImmediateGrant(t *testing.T) {
+	m := newTestMedium(25)
+	m.AddBSS(geom.Pt(0, 0), 0)
+	m.AddStation(stats.NewRNG(1))
+	g := m.Reserve(0, 0, 1.5, 0.002, geom.Pt(3, 0))
+	if !g.Granted || g.Start != 1.5 || g.Collided {
+		t.Fatalf("idle reserve: %+v", g)
+	}
+	if g.InterfDBm != NoInterference {
+		t.Fatalf("single-domain grant reported interference: %+v", g)
+	}
+	s := m.Stats()
+	if s.BSS[0].Frames != 1 || s.BSS[0].AirtimeS != 0.002 || s.BSS[0].Deferrals != 0 {
+		t.Fatalf("stats after one grant: %+v", s.BSS[0])
+	}
+	if math.Abs(s.Domains[0].BusyS-0.002) > 1e-12 || s.Domains[0].CollisionS != 0 {
+		t.Fatalf("domain stats: %+v", s.Domains[0])
+	}
+}
+
+// TestBusyDeferralAndRound walks the deferral protocol: a second station
+// arriving mid-frame is deferred to the busy→idle transition, where a
+// one-contender round grants it after DIFS + backoff slots.
+func TestBusyDeferralAndRound(t *testing.T) {
+	m := newTestMedium(25)
+	m.AddBSS(geom.Pt(0, 0), 0)
+	m.AddStation(stats.NewRNG(1))
+	m.AddStation(stats.NewRNG(2))
+
+	g0 := m.Reserve(0, 0, 0, 0.004, geom.Pt(3, 0))
+	if !g0.Granted {
+		t.Fatalf("first grant deferred: %+v", g0)
+	}
+	g1 := m.Reserve(1, 0, 0.001, 0.002, geom.Pt(-3, 0))
+	if g1.Granted {
+		t.Fatalf("reserve during busy granted: %+v", g1)
+	}
+	if g1.RetryAt != 0.004 {
+		t.Fatalf("RetryAt = %v, want busy end 0.004", g1.RetryAt)
+	}
+	g1 = m.Reserve(1, 0, g1.RetryAt, 0.002, geom.Pt(-3, 0))
+	if !g1.Granted || g1.Collided {
+		t.Fatalf("retry at transition: %+v", g1)
+	}
+	if g1.Start < 0.004+m.cfg.DIFS {
+		t.Fatalf("contended grant start %v before DIFS after busy end", g1.Start)
+	}
+	maxStart := 0.004 + m.cfg.DIFS + float64(m.cfg.CWMin-1)*m.cfg.SlotTime
+	if g1.Start > maxStart {
+		t.Fatalf("contended grant start %v beyond CWMin window end %v", g1.Start, maxStart)
+	}
+	s := m.Stats()
+	if s.BSS[0].Deferrals != 1 || s.BSS[0].Frames != 2 {
+		t.Fatalf("deferral accounting: %+v", s.BSS[0])
+	}
+}
+
+// TestCollisionOnTiedBackoff forces a tie by giving both stations
+// identical RNG streams: both draw the same backoff, transmit
+// simultaneously, and are marked collided; the interval counts once
+// toward domain busy/collision seconds and not toward either BSS's
+// exclusive airtime.
+func TestCollisionOnTiedBackoff(t *testing.T) {
+	m := newTestMedium(25)
+	m.AddBSS(geom.Pt(0, 0), 0)
+	m.AddStation(stats.NewRNG(7))
+	m.AddStation(stats.NewRNG(7))
+
+	g0 := m.Reserve(0, 0, 0, 0.004, geom.Pt(3, 0))
+	if !g0.Granted {
+		t.Fatalf("seed grant: %+v", g0)
+	}
+	// Both stations defer during the frame, then contend at the
+	// transition with identical draws.
+	d1 := m.Reserve(1, 0, 0.001, 0.003, geom.Pt(-3, 0))
+	d0 := m.Reserve(0, 0, 0.002, 0.002, geom.Pt(3, 0))
+	if d0.Granted || d1.Granted {
+		t.Fatalf("mid-frame reserves granted: %+v %+v", d0, d1)
+	}
+	g0 = m.Reserve(0, 0, 0.004, 0.002, geom.Pt(3, 0))
+	if !g0.Granted || !g0.Collided {
+		t.Fatalf("tied round for station 0: %+v", g0)
+	}
+	gp := m.Reserve(1, 0, 0.004, 0.003, geom.Pt(-3, 0))
+	if !gp.Granted || !gp.Collided {
+		t.Fatalf("tied round pickup for station 1: %+v", gp)
+	}
+	if gp.Start != g0.Start {
+		t.Fatalf("collided frames start apart: %v vs %v", gp.Start, g0.Start)
+	}
+	s := m.Stats()
+	if s.BSS[0].Collisions != 2 || s.BSS[0].Frames != 3 {
+		t.Fatalf("collision accounting: %+v", s.BSS[0])
+	}
+	if s.BSS[0].AirtimeS != 0.004 {
+		t.Fatalf("collided frames leaked into exclusive airtime: %+v", s.BSS[0])
+	}
+	// Busy time: the 4 ms seed frame plus one collided interval lasting
+	// max(2 ms, 3 ms) — counted once, not per transmitter.
+	if math.Abs(s.Domains[0].BusyS-0.007) > 1e-12 {
+		t.Fatalf("busy seconds %v, want 0.007", s.Domains[0].BusyS)
+	}
+	if math.Abs(s.Domains[0].CollisionS-0.003) > 1e-12 {
+		t.Fatalf("collision seconds %v, want 0.003", s.Domains[0].CollisionS)
+	}
+	if s.Domains[0].Collisions != 1 {
+		t.Fatalf("collision events %d, want 1", s.Domains[0].Collisions)
+	}
+}
+
+// TestDomainFormation checks carrier-sense grouping: co-channel APs within
+// CSRangeM merge into one contention domain; different channels or
+// out-of-range APs stay separate.
+func TestDomainFormation(t *testing.T) {
+	m := newTestMedium(20)
+	m.AddBSS(geom.Pt(0, 0), 0)  // domain A
+	m.AddBSS(geom.Pt(10, 0), 0) // within 20 m of bss0 -> domain A
+	m.AddBSS(geom.Pt(60, 0), 0) // same channel, out of range -> domain B
+	m.AddBSS(geom.Pt(5, 0), 1)  // different channel -> domain C
+	s := m.Stats()
+	if len(s.Domains) != 3 {
+		t.Fatalf("domains = %d, want 3: %+v", len(s.Domains), s.Domains)
+	}
+	if s.BSS[0].Domain != s.BSS[1].Domain {
+		t.Fatalf("co-channel in-range APs split: %+v", s.BSS)
+	}
+	if s.BSS[2].Domain == s.BSS[0].Domain || s.BSS[3].Domain == s.BSS[0].Domain {
+		t.Fatalf("out-of-range or cross-channel AP merged: %+v", s.BSS)
+	}
+}
+
+// TestDomainFormationTransitive pins the connected-component semantics: a
+// chain A-B-C where A and C are out of direct range still forms one
+// domain through B.
+func TestDomainFormationTransitive(t *testing.T) {
+	m := newTestMedium(20)
+	m.AddBSS(geom.Pt(0, 0), 0)
+	m.AddBSS(geom.Pt(15, 0), 0)
+	m.AddBSS(geom.Pt(30, 0), 0)
+	s := m.Stats()
+	if len(s.Domains) != 1 {
+		t.Fatalf("chained APs split into %d domains", len(s.Domains))
+	}
+}
+
+// TestOBSSInterference: two co-channel BSSs out of carrier-sense range
+// transmit concurrently; the later grant must report interference from the
+// earlier in-flight transmission, scaled by overlap, and the level must
+// fall with distance from the interfering AP.
+func TestOBSSInterference(t *testing.T) {
+	m := newTestMedium(20)
+	m.AddBSS(geom.Pt(0, 0), 0)
+	m.AddBSS(geom.Pt(60, 0), 0)
+	m.AddStation(stats.NewRNG(1))
+	m.AddStation(stats.NewRNG(2))
+
+	g0 := m.Reserve(0, 0, 0, 0.004, geom.Pt(3, 0))
+	if !g0.Granted || g0.InterfDBm != NoInterference {
+		t.Fatalf("first-domain grant: %+v", g0)
+	}
+	near := m.Reserve(1, 1, 0.001, 0.002, geom.Pt(57, 0))
+	if !near.Granted {
+		t.Fatalf("second-domain grant deferred by wrong domain: %+v", near)
+	}
+	if near.InterfDBm == NoInterference {
+		t.Fatal("overlapping co-channel transmission reported no interference")
+	}
+	if near.OverlapFrac != 1 {
+		t.Fatalf("full overlap reported frac %v", near.OverlapFrac)
+	}
+
+	// Same overlap, client farther from the interferer: weaker level.
+	m2 := newTestMedium(20)
+	m2.AddBSS(geom.Pt(0, 0), 0)
+	m2.AddBSS(geom.Pt(120, 0), 0)
+	m2.AddStation(stats.NewRNG(1))
+	m2.AddStation(stats.NewRNG(2))
+	m2.Reserve(0, 0, 0, 0.004, geom.Pt(3, 0))
+	far := m2.Reserve(1, 1, 0.001, 0.002, geom.Pt(117, 0))
+	if !far.Granted || far.InterfDBm == NoInterference {
+		t.Fatalf("far-domain grant: %+v", far)
+	}
+	if far.InterfDBm >= near.InterfDBm {
+		t.Fatalf("interference did not fall with distance: near %v, far %v",
+			near.InterfDBm, far.InterfDBm)
+	}
+
+	// Partial overlap: a grant starting 1 ms before the 4 ms frame ends,
+	// lasting 4 ms, overlaps 25%.
+	m3 := newTestMedium(20)
+	m3.AddBSS(geom.Pt(0, 0), 0)
+	m3.AddBSS(geom.Pt(60, 0), 0)
+	m3.AddStation(stats.NewRNG(1))
+	m3.AddStation(stats.NewRNG(2))
+	m3.Reserve(0, 0, 0, 0.004, geom.Pt(3, 0))
+	part := m3.Reserve(1, 1, 0.003, 0.004, geom.Pt(57, 0))
+	if math.Abs(part.OverlapFrac-0.25) > 1e-9 {
+		t.Fatalf("partial overlap frac %v, want 0.25", part.OverlapFrac)
+	}
+}
+
+// TestConservationRandomized drives a seeded random request schedule
+// through several topologies and asserts the medium's conservation law on
+// every one: per domain, exclusive BSS airtime plus collision seconds
+// equals busy seconds, busy seconds never exceed elapsed time, and
+// per-BSS frame counts reconcile with grants observed by the driver.
+func TestConservationRandomized(t *testing.T) {
+	topologies := []struct {
+		name     string
+		aps      []geom.Point
+		channels []int
+		csRange  float64
+	}{
+		{"one-bss", []geom.Point{geom.Pt(0, 0)}, []int{0}, 25},
+		{"two-bss-shared", []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}, []int{0, 0}, 25},
+		{"two-bss-obss", []geom.Point{geom.Pt(0, 0), geom.Pt(60, 0)}, []int{0, 0}, 20},
+		{"two-channel", []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}, []int{0, 1}, 25},
+	}
+	for _, tc := range topologies {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 10; seed++ {
+				m := newTestMedium(tc.csRange)
+				for i, p := range tc.aps {
+					m.AddBSS(p, tc.channels[i])
+				}
+				const nSta = 4
+				rng := stats.NewRNG(seed)
+				for i := 0; i < nSta; i++ {
+					m.AddStation(rng.Split(uint64(i) + 1))
+				}
+				drive := rng.Split(99)
+
+				h := NewEventHeap(nSta)
+				type pend struct {
+					dur  float64
+					bss  int
+					left int
+				}
+				sta := make([]pend, nSta)
+				for i := 0; i < nSta; i++ {
+					sta[i] = pend{
+						dur:  0.0005 + drive.Float64()*0.004,
+						bss:  drive.Intn(len(tc.aps)),
+						left: 30,
+					}
+					h.Push(Event{T: drive.Float64() * 0.01, BSS: sta[i].bss, Client: i})
+				}
+				grants := 0
+				maxEnd := 0.0
+				for h.Len() > 0 {
+					ev := h.Pop()
+					p := &sta[ev.Client]
+					g := m.Reserve(ev.Client, p.bss, ev.T, p.dur, geom.Pt(float64(ev.Client), 0))
+					if !g.Granted {
+						if g.RetryAt <= ev.T {
+							t.Fatalf("retry time %v not after request %v", g.RetryAt, ev.T)
+						}
+						h.Push(Event{T: g.RetryAt, BSS: p.bss, Client: ev.Client})
+						continue
+					}
+					if g.Start < ev.T {
+						t.Fatalf("grant start %v before request %v", g.Start, ev.T)
+					}
+					grants++
+					if end := g.Start + p.dur; end > maxEnd {
+						maxEnd = end
+					}
+					p.left--
+					if p.left > 0 {
+						// Next frame after this one ends, plus think time.
+						nt := g.Start + p.dur + drive.Float64()*0.002
+						p.dur = 0.0005 + drive.Float64()*0.004
+						p.bss = drive.Intn(len(tc.aps))
+						h.Push(Event{T: nt, BSS: p.bss, Client: ev.Client})
+					}
+				}
+
+				s := m.Stats()
+				var frames uint64
+				for _, b := range s.BSS {
+					frames += b.Frames
+				}
+				if frames != uint64(grants) {
+					t.Fatalf("seed %d: %d grants seen by driver, %d frames in stats",
+						seed, grants, frames)
+				}
+				if want := uint64(nSta * 30); frames != want {
+					t.Fatalf("seed %d: %d frames, want every offered frame granted (%d)",
+						seed, frames, want)
+				}
+				for di, d := range s.Domains {
+					var air float64
+					for _, bi := range d.BSS {
+						air += s.BSS[bi].AirtimeS
+					}
+					if math.Abs(air+d.CollisionS-d.BusyS) > 1e-9 {
+						t.Fatalf("seed %d domain %d: airtime %v + collisions %v != busy %v",
+							seed, di, air, d.CollisionS, d.BusyS)
+					}
+					if d.BusyS > maxEnd+1e-9 {
+						t.Fatalf("seed %d domain %d: busy %v exceeds elapsed %v",
+							seed, di, d.BusyS, maxEnd)
+					}
+				}
+			}
+		})
+	}
+}

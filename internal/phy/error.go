@@ -114,3 +114,22 @@ func StaleSINRdB(snrDB, rho float64) float64 {
 	}
 	return 10 * math.Log10(sinr)
 }
+
+// SINRWithInterferenceDB degrades a signal-to-noise ratio by co-channel
+// interference received at interfDBm over a noise floor of noiseDBm:
+//
+//	SINR = S / (N + I)  with  S = SNR * N
+//
+// The signal power is recovered from the SNR and the noise floor, so the
+// result only depends on the two dB gaps. With interference far below the
+// noise floor the SNR is returned (numerically) unchanged.
+func SINRWithInterferenceDB(snrDB, noiseDBm, interfDBm float64) float64 {
+	n := math.Pow(10, noiseDBm/10)
+	i := math.Pow(10, interfDBm/10)
+	s := math.Pow(10, snrDB/10) * n
+	sinr := s / (n + i)
+	if sinr < 1e-4 {
+		sinr = 1e-4
+	}
+	return 10 * math.Log10(sinr)
+}

@@ -43,6 +43,27 @@ func DefaultPlan() Plan {
 	}
 }
 
+// GridPlan lays out n APs on a near-square grid with the default plan's
+// cell pitch (17 m x 16 m — six APs reproduce the Fig. 13 floor's
+// density), for fleet runs larger than one floor. The radio configuration
+// matches DefaultPlan.
+func GridPlan(n int) Plan {
+	if n < 1 {
+		n = 1
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	cfg := channel.DefaultConfig()
+	cfg.TxPowerDBm = 5
+	p := Plan{APs: make([]geom.Point, n), Channel: cfg}
+	for i := 0; i < n; i++ {
+		p.APs[i] = geom.Pt(8+17*float64(i%cols), 7+16*float64(i/cols))
+	}
+	return p
+}
+
 // Observation is what a policy sees on each decision tick.
 type Observation struct {
 	// T is the tick time.

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"mobiwlan/internal/medium"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/roaming"
+	"mobiwlan/internal/stats"
+)
+
+// ContendStats is the shared-medium accounting of a contended fleet run.
+type ContendStats struct {
+	// BSS is the per-BSS contention outcome, indexed by global AP index.
+	BSS []medium.BSSStats
+	// Domains is the per-contention-domain occupancy accounting.
+	Domains []medium.DomainStats
+	// MPDU reconciles the fleet's offered load with its loss causes,
+	// summed over all clients.
+	MPDU MPDUCounts
+	// PerClient holds each client's MPDU reconciliation, in client order.
+	PerClient []MPDUCounts
+}
+
+// contendPlan resolves the AP deployment and per-AP channels for a
+// contended run: an explicit plan wins; otherwise a grid sized by opt.APs
+// (default: the six-AP Fig. 13 floor). Channels are assigned round-robin
+// in AP index order over NumChannels (default 3).
+func contendPlan(opt FleetOptions) (roaming.Plan, []int) {
+	plan := opt.Plan
+	if len(plan.APs) == 0 {
+		n := opt.APs
+		if n <= 0 {
+			n = 6
+		}
+		plan = roaming.GridPlan(n)
+	}
+	nch := opt.NumChannels
+	if nch <= 0 {
+		nch = 3
+	}
+	channels := make([]int, len(plan.APs))
+	for i := range channels {
+		channels[i] = i % nch
+	}
+	return plan, channels
+}
+
+// nearestAPs returns the global indices of the k APs nearest to the home
+// AP (the home AP itself first), sorted ascending by global index so the
+// client's link RNG splits stay keyed to the full deployment.
+func nearestAPs(plan roaming.Plan, home, k int) []int {
+	n := len(plan.APs)
+	if k <= 0 || k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	hp := plan.APs[home]
+	sort.Slice(idx, func(a, b int) bool {
+		da, db := plan.APs[idx[a]].Dist(hp), plan.APs[idx[b]].Dist(hp)
+		if da != db {
+			return da < db
+		}
+		return idx[a] < idx[b]
+	})
+	sub := idx[:k]
+	sort.Ints(sub)
+	return sub
+}
+
+// contendClientSetup derives contended client i's scenario, WLAN options,
+// simulation seed, and AP subset — exactly the uncontended fleet's
+// per-client derivation (base = Split(seed, i+1), scenario from
+// base.Split(1), seed from base.Split(2)), except that the client homes to
+// AP i % len(APs) and its scene is translated so the scene AP lands on the
+// home AP. Translation preserves the scene generator's draw sequence: the
+// generator only draws geometry relative to Bounds and AP.
+func contendClientSetup(plan roaming.Plan, opt FleetOptions, seed uint64, trialBase, i int) (
+	*mobility.Scenario, WLANOptions, uint64, []int, mobility.Mode) {
+	base := stats.NewRNG(seed).Split(uint64(i) + 1)
+	mode := mobility.AllModes[i%len(mobility.AllModes)]
+	home := i % len(plan.APs)
+	scfg := mobility.DefaultSceneConfig()
+	if opt.Duration > 0 {
+		scfg.Duration = opt.Duration
+	}
+	dx := plan.APs[home].X - scfg.AP.X
+	dy := plan.APs[home].Y - scfg.AP.Y
+	scfg.AP = plan.APs[home]
+	scfg.Bounds.MinX += dx
+	scfg.Bounds.MaxX += dx
+	scfg.Bounds.MinY += dy
+	scfg.Bounds.MaxY += dy
+	scen := mobility.NewScenario(mode, scfg, base.Split(1))
+
+	apIdx := nearestAPs(plan, home, opt.MaxAPs)
+	sub := roaming.Plan{Channel: plan.Channel}
+	for _, gi := range apIdx {
+		sub.APs = append(sub.APs, plan.APs[gi])
+	}
+	w := DefaultWLANOptions(opt.MotionAware)
+	w.Plan = sub
+	w.Obs = opt.Obs
+	w.Trial = trialBase + i
+	return scen, w, base.Split(2).Uint64(), apIdx, mode
+}
+
+// runWLANFleetContended drives every client through one shared medium.
+// The event loop is strictly serial — each Reserve/transmit/advance step
+// depends on the medium state left by the previous one — so the run is
+// byte-identical at any Jobs value by construction; Jobs is ignored here.
+// Per-client randomness still derives from Split(seed, client index)
+// alone, and a fleet of one client on an idle medium reproduces the
+// uncontended RunWLAN bit for bit (the immediate-grant path adds no time
+// and draws nothing).
+func runWLANFleetContended(opt FleetOptions, seed uint64) FleetResult {
+	n := opt.Clients
+	res := FleetResult{}
+	if n <= 0 {
+		return res
+	}
+	trialBase := opt.TrialBase
+	if trialBase == 0 {
+		trialBase = fleetTrialBase
+	}
+	clientsMet := opt.Obs.Registry().Counter("sim.fleet.clients")
+
+	plan, channels := contendPlan(opt)
+	mcfg := medium.DefaultConfig()
+	if opt.CSRangeM > 0 {
+		mcfg.CSRangeM = opt.CSRangeM
+	}
+	mcfg.TxPowerDBm = plan.Channel.TxPowerDBm
+	mcfg.NoiseFloorDBm = plan.Channel.NoiseFloorDBm
+	mcfg.CarrierHz = plan.Channel.CarrierHz
+	mcfg.PathLossExponent = plan.Channel.PathLossExponent
+	mcfg.PathLossBreakM = plan.Channel.PathLossBreakM
+	med := medium.New(mcfg)
+	for i, ap := range plan.APs {
+		med.AddBSS(ap, channels[i])
+	}
+
+	// Build every client against its home cell. MaxAPs > 0 restricts each
+	// client's simulated links to its nearest APs; link RNG splits are
+	// keyed by global AP index, so the restriction never changes the
+	// channel randomness of the APs that remain.
+	clients := make([]*wlanClient, n)
+	modes := make([]mobility.Mode, n)
+	h := medium.NewEventHeap(n)
+	for i := 0; i < n; i++ {
+		scen, w, cseed, apIdx, mode := contendClientSetup(plan, opt, seed, trialBase, i)
+		modes[i] = mode
+		c := newWLANClient(scen, w, cseed, apIdx)
+		med.AddStation(c.medRNG)
+		clients[i] = c
+		if !c.advance() {
+			h.Push(medium.Event{T: c.t, BSS: c.curBSS(), Client: i})
+		}
+	}
+
+	// The shared-medium event loop: pop the earliest ready client (ties
+	// broken by BSS then client index), ask the medium for its pending
+	// frame's airtime, and either transmit at the granted start or requeue
+	// at the medium's retry time.
+	for h.Len() > 0 {
+		ev := h.Pop()
+		c := clients[ev.Client]
+		g := med.Reserve(ev.Client, c.curBSS(), ev.T, c.pendDur, c.pos(ev.T))
+		if !g.Granted {
+			h.Push(medium.Event{T: g.RetryAt, BSS: c.curBSS(), Client: ev.Client})
+			continue
+		}
+		c.transmit(g.Start, g.Collided, g.InterfDBm, g.OverlapFrac)
+		if !c.advance() {
+			h.Push(medium.Event{T: c.t, BSS: c.curBSS(), Client: ev.Client})
+		}
+	}
+
+	cs := &ContendStats{PerClient: make([]MPDUCounts, n)}
+	res.PerClient = make([]ClientResult, n)
+	for i, c := range clients {
+		res.PerClient[i] = ClientResult{Client: i, Mode: modes[i], WLANResult: c.result()}
+		cs.PerClient[i] = c.mpdu
+		cs.MPDU.Offered += c.mpdu.Offered
+		cs.MPDU.Delivered += c.mpdu.Delivered
+		cs.MPDU.PERLost += c.mpdu.PERLost
+		cs.MPDU.CollisionLost += c.mpdu.CollisionLost
+		cs.MPDU.OBSSLost += c.mpdu.OBSSLost
+		clientsMet.Inc()
+	}
+	ms := med.Stats()
+	cs.BSS = ms.BSS
+	cs.Domains = ms.Domains
+	res.Contend = cs
+
+	publishContendStats(opt, cs)
+
+	for _, c := range res.PerClient {
+		res.TotalMbps += c.Mbps
+		res.Handoffs += c.Handoffs
+		res.Scans += c.Scans
+	}
+	res.MeanMbps = res.TotalMbps / float64(n)
+	return res
+}
+
+// publishContendStats exposes the shared-medium accounting through the
+// fleet's observability registry: per-BSS airtime/frames/collisions/
+// deferrals, per-domain occupancy, and the fleet MPDU reconciliation.
+func publishContendStats(opt FleetOptions, cs *ContendStats) {
+	if opt.Obs == nil {
+		return
+	}
+	reg := opt.Obs.Registry()
+	for b, s := range cs.BSS {
+		p := fmt.Sprintf("medium.bss%03d.", b)
+		reg.Gauge(p + "airtime_s").Set(s.AirtimeS)
+		reg.Counter(p + "frames").Add(s.Frames)
+		reg.Counter(p + "collisions").Add(s.Collisions)
+		reg.Counter(p + "deferrals").Add(s.Deferrals)
+	}
+	for d, s := range cs.Domains {
+		p := fmt.Sprintf("medium.domain%03d.", d)
+		reg.Gauge(p + "busy_s").Set(s.BusyS)
+		reg.Gauge(p + "collision_s").Set(s.CollisionS)
+		reg.Counter(p + "collisions").Add(s.Collisions)
+	}
+	reg.Counter("medium.mpdu.offered").Add(cs.MPDU.Offered)
+	reg.Counter("medium.mpdu.delivered").Add(cs.MPDU.Delivered)
+	reg.Counter("medium.mpdu.per_lost").Add(cs.MPDU.PERLost)
+	reg.Counter("medium.mpdu.collision_lost").Add(cs.MPDU.CollisionLost)
+	reg.Counter("medium.mpdu.obss_lost").Add(cs.MPDU.OBSSLost)
+}

@@ -4,6 +4,7 @@ import (
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/obs"
 	"mobiwlan/internal/parallel"
+	"mobiwlan/internal/roaming"
 	"mobiwlan/internal/stats"
 )
 
@@ -35,6 +36,29 @@ type FleetOptions struct {
 	// default base, disjoint from the experiment bases).
 	Obs       *obs.Scope
 	TrialBase int
+
+	// Contend routes every frame through one shared medium (CSMA/CA
+	// deferral/backoff/collisions plus co-channel OBSS interference)
+	// instead of giving each client the spectrum to itself. The contended
+	// event loop is serial; Jobs is ignored and output stays
+	// byte-identical at any value.
+	Contend bool
+	// Plan overrides the AP deployment for contended runs. Empty means a
+	// grid of APs AP positions from roaming.GridPlan.
+	Plan roaming.Plan
+	// APs sizes the generated grid plan when Plan is empty (default 6,
+	// the Fig. 13 floor).
+	APs int
+	// NumChannels spreads APs over this many channels, round-robin in AP
+	// index order (default 3, the usual 5 GHz reuse-3 layout).
+	NumChannels int
+	// CSRangeM is the AP-to-AP carrier-sense range in meters; co-channel
+	// APs farther apart transmit concurrently and interfere (default 25).
+	CSRangeM float64
+	// MaxAPs caps how many nearby APs each contended client simulates
+	// links against (0 means all — quadratic in fleet size for grid
+	// plans, so large fleets should set a small cap).
+	MaxAPs int
 }
 
 // ClientResult is one fleet client's outcome.
@@ -55,6 +79,9 @@ type FleetResult struct {
 	TotalMbps, MeanMbps float64
 	// Handoffs and Scans sum the per-client counts.
 	Handoffs, Scans int
+	// Contend holds the shared-medium accounting; nil for uncontended
+	// runs.
+	Contend *ContendStats
 }
 
 // RunWLANFleet simulates opt.Clients independent clients against the
@@ -65,6 +92,9 @@ type FleetResult struct {
 // are byte-identical for any Jobs value (the repo's RNG-split/trial-key
 // determinism contract).
 func RunWLANFleet(opt FleetOptions, seed uint64) FleetResult {
+	if opt.Contend {
+		return runWLANFleetContended(opt, seed)
+	}
 	n := opt.Clients
 	res := FleetResult{}
 	if n <= 0 {

@@ -5,9 +5,12 @@ import (
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
+	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mac"
+	"mobiwlan/internal/medium"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/obs"
+	"mobiwlan/internal/phy"
 	"mobiwlan/internal/ratecontrol"
 	"mobiwlan/internal/roaming"
 	"mobiwlan/internal/stats"
@@ -59,107 +62,201 @@ type WLANResult struct {
 	Scans int
 }
 
-// RunWLAN simulates a client moving through the WLAN with the full
-// protocol stack at frame granularity.
-func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
+// MPDUCounts reconciles a client's offered load with its loss causes. The
+// conservation law tested by the contention suite:
+// Offered == Delivered + PERLost + CollisionLost + OBSSLost.
+type MPDUCounts struct {
+	// Offered counts every MPDU handed to the MAC.
+	Offered uint64
+	// Delivered counts MPDUs acknowledged end to end.
+	Delivered uint64
+	// PERLost counts MPDUs lost to the channel error model.
+	PERLost uint64
+	// CollisionLost counts MPDUs lost to CSMA/CA backoff collisions.
+	CollisionLost uint64
+	// OBSSLost counts MPDUs lost to co-channel interference from another
+	// contention domain.
+	OBSSLost uint64
+}
+
+// wlanClient is one client's full protocol stack (channels, MAC links,
+// classifier, ToF trend detection, rate control, aggregation, roaming,
+// traffic source) as a resumable state machine. advance() runs the control
+// loop until a frame is ready; transmit() sends it at a (possibly
+// deferred) start time. RunWLAN alternates the two back to back, which
+// reproduces the original single-loop simulation draw for draw; the
+// contended fleet driver interleaves many clients through a shared medium
+// between the two calls.
+type wlanClient struct {
+	scen *mobility.Scenario
+	opt  WLANOptions
+	src  transport.Source
+
+	links []*mac.Link
+	apIdx []int // global AP index per link (identity when no subsetting)
+
+	handoffs, scans *obs.Counter
+	tr              *obs.Tracer
+
+	newAdapter func() ratecontrol.Adapter
+	newCls     func() *core.Classifier
+	aggPol     aggregation.Policy
+	roamPol    roaming.Policy
+
+	cls     *core.Classifier
+	adapter ratecontrol.Adapter
+	meter   *tof.Meter
+	trends  []*tof.TrendDetector
+	filters []*stats.MedianFilter
+
+	// medRNG is a dedicated split for medium-level draws (OBSS interference
+	// survival); it never perturbs the frame/channel RNG streams, which is
+	// what keeps contended and uncontended single-client runs bit-identical.
+	medRNG        *stats.RNG
+	noiseFloorDBm float64
+
+	cur         int
+	t           float64
+	bits        float64
+	busyUntil   float64
+	scanPending bool
+	nextCSI     float64
+	nextToF     float64
+	nextTick    float64
+	lastFlush   float64
+	csiBuf      *csi.Matrix
+
+	// Pending frame between advance() and transmit().
+	pendMCS phy.MCS
+	pendN   int
+	pendDur float64
+
+	mpdu MPDUCounts
+	res  WLANResult
+}
+
+// newWLANClient builds the stack. apIdx maps each plan AP to its global
+// index in the full deployment; nil means identity. RNG splits are keyed
+// by the global index so a client simulated against a nearby subset of a
+// large plan sees the same channel randomness it would against the full
+// plan.
+func newWLANClient(scen *mobility.Scenario, opt WLANOptions, seed uint64, apIdx []int) *wlanClient {
 	rng := stats.NewRNG(seed)
 	nAP := len(opt.Plan.APs)
-	links := make([]*mac.Link, nAP)
-	for i, ap := range opt.Plan.APs {
-		ch := channel.NewAt(opt.Plan.Channel, ap, scen, rng.Split(uint64(i)+1))
-		links[i] = mac.NewLink(ch, rng.Split(uint64(i)+100))
+	if apIdx == nil {
+		apIdx = make([]int, nAP)
+		for i := range apIdx {
+			apIdx[i] = i
+		}
 	}
-	src := opt.Source
-	if src == nil {
-		src = transport.Saturated{}
+	c := &wlanClient{
+		scen:          scen,
+		opt:           opt,
+		apIdx:         apIdx,
+		links:         make([]*mac.Link, nAP),
+		medRNG:        rng.Split(888),
+		noiseFloorDBm: opt.Plan.Channel.NoiseFloorDBm,
+		busyUntil:     -1,
+	}
+	for i, ap := range opt.Plan.APs {
+		gi := uint64(apIdx[i])
+		ch := channel.NewAt(opt.Plan.Channel, ap, scen, rng.Split(gi+1))
+		c.links[i] = mac.NewLink(ch, rng.Split(gi+100))
+	}
+	c.src = opt.Source
+	if c.src == nil {
+		c.src = transport.Saturated{}
 	}
 
 	// Telemetry (all sinks nil-safe when opt.Obs is nil).
 	reg := opt.Obs.Registry()
-	tr := opt.Obs.Tracer(opt.Trial)
-	handoffs := reg.Counter("sim.wlan.handoffs")
-	scans := reg.Counter("sim.wlan.scans")
+	c.tr = opt.Obs.Tracer(opt.Trial)
+	c.handoffs = reg.Counter("sim.wlan.handoffs")
+	c.scans = reg.Counter("sim.wlan.scans")
 	clsMet := core.NewMetrics(reg)
 	macMet := mac.NewMetrics(reg)
 	rcMet := ratecontrol.NewMetrics(reg)
-	for _, l := range links {
+	for _, l := range c.links {
 		l.Met = macMet
 	}
 
-	newAdapter := func() ratecontrol.Adapter {
+	c.newAdapter = func() ratecontrol.Adapter {
 		if opt.MotionAware {
 			ma := ratecontrol.NewMobilityAware(ratecontrol.DefaultLinkConfig())
-			ma.Instrument(rcMet, tr)
+			ma.Instrument(rcMet, c.tr)
 			return ma
 		}
 		return ratecontrol.NewAtheros(ratecontrol.DefaultLinkConfig())
 	}
-	var aggPol aggregation.Policy = aggregation.Fixed{Limit: 4e-3}
-	var roamPol roaming.Policy = roaming.NewDefault80211()
+	c.aggPol = aggregation.Fixed{Limit: 4e-3}
+	c.roamPol = roaming.NewDefault80211()
 	if opt.MotionAware {
-		aggPol = aggregation.Adaptive{}
-		roamPol = roaming.NewMobilityAware()
+		c.aggPol = aggregation.Adaptive{}
+		c.roamPol = roaming.NewMobilityAware()
 	}
-
-	newCls := func() *core.Classifier {
-		c := core.New(core.DefaultConfig())
-		c.Instrument(clsMet, tr)
-		return c
+	c.newCls = func() *core.Classifier {
+		cl := core.New(core.DefaultConfig())
+		cl.Instrument(clsMet, c.tr)
+		return cl
 	}
 
 	// Controller instrumentation: classifier on the current AP, per-AP
 	// ToF trend detection for candidate headings.
-	cls := newCls()
-	meter := tof.NewMeter(tof.DefaultConfig(), rng.Split(777))
-	trends := make([]*tof.TrendDetector, nAP)
-	filters := make([]*stats.MedianFilter, nAP)
-	for i := range trends {
-		trends[i] = tof.NewTrendDetector(3, 0, 0.8)
-		filters[i] = &stats.MedianFilter{}
+	c.cls = c.newCls()
+	c.meter = tof.NewMeter(tof.DefaultConfig(), rng.Split(777))
+	c.trends = make([]*tof.TrendDetector, nAP)
+	c.filters = make([]*stats.MedianFilter, nAP)
+	for i := range c.trends {
+		c.trends[i] = tof.NewTrendDetector(3, 0, 0.8)
+		c.filters[i] = &stats.MedianFilter{}
 	}
 
 	// Initial association: strongest AP.
-	cur := 0
 	bestRSSI := -1e18
-	for i, l := range links {
+	for i, l := range c.links {
 		if v := l.Chan.MeanRSSI(0); v > bestRSSI {
-			cur, bestRSSI = i, v
+			c.cur, bestRSSI = i, v
 		}
 	}
-	adapter := newAdapter()
+	c.adapter = c.newAdapter()
+	return c
+}
 
-	var res WLANResult
-	var bits float64
-	// One measurement buffer shared across all AP channels: the classifier
-	// copies and the RSSI reads below only look at scalar fields.
-	var csiBuf *csi.Matrix
-	busyUntil := -1.0
-	scanPending := false
-	nextCSI, nextToF, nextTick, lastFlush := 0.0, 0.0, 0.0, 0.0
+// curBSS returns the global AP index the client is associated to.
+func (c *wlanClient) curBSS() int { return c.apIdx[c.cur] }
+
+// pos returns the client position at time t.
+func (c *wlanClient) pos(t float64) geom.Point { return c.scen.Client.At(t) }
+
+// advance runs the control loop — measurement catch-up, roaming ticks,
+// rate selection, traffic demand — until a frame is ready to transmit
+// (returns false; pendMCS/pendN/pendDur describe it) or the scenario ends
+// (returns true).
+func (c *wlanClient) advance() bool {
 	const tick = 0.1
 	const idleStep = 1e-3
-
-	for t := 0.0; t < scen.Duration; {
-		for nextCSI <= t {
-			s := links[cur].Chan.MeasureInto(nextCSI, csiBuf)
-			csiBuf = s.CSI
-			cls.ObserveCSI(nextCSI, s.CSI)
-			nextCSI += cls.Config().CSISamplePeriod
+	for c.t < c.scen.Duration {
+		t := c.t
+		for c.nextCSI <= t {
+			s := c.links[c.cur].Chan.MeasureInto(c.nextCSI, c.csiBuf)
+			c.csiBuf = s.CSI
+			c.cls.ObserveCSI(c.nextCSI, s.CSI)
+			c.nextCSI += c.cls.Config().CSISamplePeriod
 		}
-		for nextToF <= t {
-			if cls.ToFActive() {
-				cls.ObserveToF(nextToF, meter.Raw(links[cur].Chan.Distance(nextToF)))
+		for c.nextToF <= t {
+			if c.cls.ToFActive() {
+				c.cls.ObserveToF(c.nextToF, c.meter.Raw(c.links[c.cur].Chan.Distance(c.nextToF)))
 			}
-			for i := range links {
-				filters[i].Add(meter.Raw(links[i].Chan.Distance(nextToF)))
+			for i := range c.links {
+				c.filters[i].Add(c.meter.Raw(c.links[i].Chan.Distance(c.nextToF)))
 			}
-			nextToF += 0.02
+			c.nextToF += 0.02
 		}
-		if t-lastFlush >= 1 {
-			lastFlush = t
-			for i := range links {
-				if med, ok := filters[i].Flush(); ok {
-					trends[i].Push(med)
+		if t-c.lastFlush >= 1 {
+			c.lastFlush = t
+			for i := range c.links {
+				if med, ok := c.filters[i].Flush(); ok {
+					c.trends[i].Push(med)
 				}
 			}
 		}
@@ -169,74 +266,130 @@ func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
 		// extra MeasureInto just to fill CurRSSI, which both did double
 		// work and advanced its noise RNG by one extra draw sequence per
 		// tick.
-		if t >= nextTick {
-			nextTick = t + tick
+		if t >= c.nextTick {
+			c.nextTick = t + tick
 			view := roaming.Observation{
 				T:           t,
-				Cur:         cur,
-				InfraRSSI:   make([]float64, nAP),
-				State:       cls.State(),
-				Approaching: make([]bool, nAP),
+				Cur:         c.cur,
+				InfraRSSI:   make([]float64, len(c.links)),
+				State:       c.cls.State(),
+				Approaching: make([]bool, len(c.links)),
 			}
-			for i, l := range links {
-				s := l.Chan.MeasureInto(t, csiBuf)
-				csiBuf = s.CSI
+			for i, l := range c.links {
+				s := l.Chan.MeasureInto(t, c.csiBuf)
+				c.csiBuf = s.CSI
 				view.InfraRSSI[i] = s.RSSIdBm
-				view.Approaching[i] = trends[i].Trend() == stats.TrendDecreasing
+				view.Approaching[i] = c.trends[i].Trend() == stats.TrendDecreasing
 			}
-			view.CurRSSI = view.InfraRSSI[cur]
-			if scanPending && t >= busyUntil {
+			view.CurRSSI = view.InfraRSSI[c.cur]
+			if c.scanPending && t >= c.busyUntil {
 				view.ScanRSSI = view.InfraRSSI
 				view.ScanValid = true
-				scanPending = false
+				c.scanPending = false
 			}
-			act := roamPol.Decide(view)
-			if act.StartScan && t >= busyUntil {
-				busyUntil = t + opt.ScanCost
-				scanPending = true
-				res.Scans++
-				scans.Inc()
-				tr.Emit(t, "sim", "scan", float64(cur), 0, "")
+			act := c.roamPol.Decide(view)
+			if act.StartScan && t >= c.busyUntil {
+				c.busyUntil = t + c.opt.ScanCost
+				c.scanPending = true
+				c.res.Scans++
+				c.scans.Inc()
+				c.tr.Emit(t, "sim", "scan", float64(c.cur), 0, "")
 			}
-			if act.RoamTo >= 0 && act.RoamTo != cur && t >= busyUntil {
-				tr.Emit(t, "sim", "handoff", float64(cur), float64(act.RoamTo), core.StateLabel(view.State))
-				cur = act.RoamTo
-				busyUntil = t + opt.HandoffCost
-				res.Handoffs++
-				handoffs.Inc()
-				cls = newCls()
-				adapter = newAdapter()
+			if act.RoamTo >= 0 && act.RoamTo != c.cur && t >= c.busyUntil {
+				c.tr.Emit(t, "sim", "handoff", float64(c.cur), float64(act.RoamTo), core.StateLabel(view.State))
+				c.cur = act.RoamTo
+				c.busyUntil = t + c.opt.HandoffCost
+				c.res.Handoffs++
+				c.handoffs.Inc()
+				c.cls = c.newCls()
+				c.adapter = c.newAdapter()
 			}
 		}
 
-		if t < busyUntil {
-			t = busyUntil
+		if c.t < c.busyUntil {
+			c.t = c.busyUntil
 			continue
 		}
 
 		state := core.StateUnknown
-		if opt.MotionAware {
-			state = cls.State()
-			if sa, ok := adapter.(ratecontrol.StateAware); ok {
+		if c.opt.MotionAware {
+			state = c.cls.State()
+			if sa, ok := c.adapter.(ratecontrol.StateAware); ok {
 				sa.SetState(state)
 			}
 		}
-		link := links[cur]
-		mcs := adapter.SelectRate(t)
-		maxN := aggregation.MPDUs(aggPol, state, mcs, link.Width, link.SGI, link.MPDUBytes)
-		n := src.Demand(t, maxN)
+		link := c.links[c.cur]
+		mcs := c.adapter.SelectRate(c.t)
+		maxN := aggregation.MPDUs(c.aggPol, state, mcs, link.Width, link.SGI, link.MPDUBytes)
+		n := c.src.Demand(c.t, maxN)
 		if n <= 0 {
-			t += idleStep
+			c.t += idleStep
 			continue
 		}
-		fr := link.Transmit(t, mcs, n)
-		adapter.OnResult(t+fr.Airtime, fr)
-		src.OnDelivery(t+fr.Airtime, fr.NMPDU, fr.Delivered, fr.BlockAck)
-		bits += fr.Goodput(link.MPDUBytes)
-		t += fr.Airtime
+		c.pendMCS, c.pendN = mcs, n
+		// ExchangeAirtime is deterministic in (MCS, n), so the frame's
+		// duration — what the medium must be asked for — is known before
+		// Transmit draws any randomness.
+		c.pendDur = phy.ExchangeAirtime(link.Timing, mcs, link.Width, link.SGI, n*link.MPDUBytes, n)
+		return false
 	}
-	if scen.Duration > 0 {
-		res.Mbps = bits / scen.Duration / 1e6
+	return true
+}
+
+// transmit sends the pending frame at start (>= the time advance stopped
+// at; later when the medium deferred the client). A collided frame loses
+// every MPDU. A frame overlapped by a co-channel transmission from another
+// contention domain (interfDBm != medium.NoInterference) passes each
+// channel-delivered MPDU through an interference survival draw from the
+// client's medium RNG split: drop probability is the overlap fraction
+// times the PER at the interference-degraded SINR.
+func (c *wlanClient) transmit(start float64, collided bool, interfDBm, overlapFrac float64) {
+	link := c.links[c.cur]
+	fr := link.Transmit(start, c.pendMCS, c.pendN)
+	c.mpdu.Offered += uint64(fr.NMPDU)
+	if collided {
+		c.mpdu.CollisionLost += uint64(fr.NMPDU)
+		fr.Delivered = 0
+		fr.BlockAck = false
+	} else {
+		c.mpdu.PERLost += uint64(fr.NMPDU - fr.Delivered)
+		if interfDBm != medium.NoInterference && fr.Delivered > 0 {
+			sinrI := phy.SINRWithInterferenceDB(fr.EffSNRdB, c.noiseFloorDBm, interfDBm)
+			q := overlapFrac * phy.PER(fr.MCS, sinrI, link.MPDUBytes)
+			kept := 0
+			for k := 0; k < fr.Delivered; k++ {
+				if !c.medRNG.Bool(q) {
+					kept++
+				}
+			}
+			c.mpdu.OBSSLost += uint64(fr.Delivered - kept)
+			fr.Delivered = kept
+			fr.BlockAck = kept > 0
+		}
+		c.mpdu.Delivered += uint64(fr.Delivered)
 	}
-	return res
+	c.adapter.OnResult(start+fr.Airtime, fr)
+	c.src.OnDelivery(start+fr.Airtime, fr.NMPDU, fr.Delivered, fr.BlockAck)
+	c.bits += fr.Goodput(link.MPDUBytes)
+	c.t = start + fr.Airtime
+}
+
+// result finalizes and returns the run summary.
+func (c *wlanClient) result() WLANResult {
+	if c.scen.Duration > 0 {
+		c.res.Mbps = c.bits / c.scen.Duration / 1e6
+	}
+	return c.res
+}
+
+// RunWLAN simulates a client moving through the WLAN with the full
+// protocol stack at frame granularity, with the medium to itself: every
+// frame transmits the moment it is ready (the airtime model already
+// charges mean backoff and DIFS per exchange).
+func RunWLAN(scen *mobility.Scenario, opt WLANOptions, seed uint64) WLANResult {
+	c := newWLANClient(scen, opt, seed, nil)
+	for !c.advance() {
+		c.transmit(c.t, false, medium.NoInterference, 0)
+	}
+	return c.result()
 }

@@ -71,6 +71,7 @@ type Result struct {
 
 const schemaID = "mobiwlan-bench/1"
 
+//mobilint:stdout benchstatus's verdict table and ok/FAIL line are its CLI contract
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -43,6 +43,7 @@ import (
 // heap mid-run.
 const traceRingCap = 4096
 
+//mobilint:stdout figures prints the generated artifact paths for the paper build
 func main() {
 	var (
 		idFlag   = flag.String("id", "all", "comma-separated experiment IDs, or 'all'")

@@ -25,6 +25,7 @@ import (
 	"strings"
 )
 
+//mobilint:stdout mdcheck reports doc-link findings on stdout for CI logs
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: mdcheck FILE.md...")

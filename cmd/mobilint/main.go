@@ -1,13 +1,17 @@
 // Command mobilint is the repo's static-analysis gate: it enforces the
-// determinism, concurrency and error-hygiene contracts documented in
-// DESIGN.md ("Enforced invariants") on every package in the module.
+// determinism, concurrency, error-hygiene, hot-path allocation,
+// RNG-split and stdout-purity contracts documented in DESIGN.md
+// ("Enforced invariants") on every package in the module.
 //
 // Usage:
 //
-//	go run ./cmd/mobilint ./...          # lint the whole module
-//	go run ./cmd/mobilint internal/sim   # lint one package
-//	go run ./cmd/mobilint -list          # show the checks
+//	go run ./cmd/mobilint ./...            # lint the whole module
+//	go run ./cmd/mobilint internal/sim     # lint one package
+//	go run ./cmd/mobilint -list            # show the checks
 //	go run ./cmd/mobilint -checks map-order,time-now ./...
+//	go run ./cmd/mobilint -format json ./...          # CI artifact
+//	go run ./cmd/mobilint -format sarif ./...         # PR annotations
+//	go run ./cmd/mobilint -baseline lint_baseline.json ./...
 //
 // Exit status: 0 clean, 1 findings, 2 usage or analysis error.
 // Suppress an individual finding with a justified directive on the
@@ -19,44 +23,95 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"mobiwlan/internal/lint"
 )
 
-func main() { os.Exit(run()) }
+//mobilint:stdout mobilint's findings and listings are its primary output, consumed by CI and terminals
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func run() int {
-	list := flag.Bool("list", false, "list registered checks and exit")
-	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mobilint [-list] [-checks c1,c2] [packages]\n")
-		flag.PrintDefaults()
+// run is the testable CLI body; exit-code semantics (0 clean, 1
+// findings, 2 usage/analysis error) are pinned by main_test.go.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mobilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered checks and exit")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all default-enabled checks)")
+	format := fs.String("format", "text", "output format: text, json or sarif")
+	baseline := fs.String("baseline", "", "JSON baseline file; recorded findings are tolerated, only new ones fail")
+	fs.Usage = func() {
+		_, _ = fmt.Fprintf(stderr, "usage: mobilint [-list] [-checks c1,c2] [-format text|json|sarif] [-baseline file] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		for _, c := range lint.Checks {
-			fmt.Printf("%-16s %s\n", c.Name, c.Doc)
+		sorted := append([]*lint.Check(nil), lint.Checks...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, c := range sorted {
+			def := "off"
+			if c.Default {
+				def = "on"
+			}
+			_, _ = fmt.Fprintf(stdout, "%-16s %-4s %s\n", c.Name, def, c.Doc)
 		}
 		return 0
 	}
 
-	cfg := lint.Config{Dir: ".", Patterns: flag.Args()}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		_, _ = fmt.Fprintf(stderr, "mobilint: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
+	}
+
+	cfg := lint.Config{Dir: ".", Patterns: fs.Args()}
 	if *checks != "" {
 		cfg.Checks = strings.Split(*checks, ",")
 	}
 	findings, err := lint.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mobilint:", err)
+		_, _ = fmt.Fprintln(stderr, "mobilint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f.String())
+
+	if *baseline != "" {
+		bl, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "mobilint:", err)
+			return 2
+		}
+		var absorbed int
+		findings, absorbed = bl.Apply(findings)
+		if absorbed > 0 {
+			_, _ = fmt.Fprintf(stderr, "mobilint: %d baselined finding(s) ignored\n", absorbed)
+		}
+	}
+
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			_, _ = fmt.Fprintln(stderr, "mobilint:", err)
+			return 2
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(stdout, findings); err != nil {
+			_, _ = fmt.Fprintln(stderr, "mobilint:", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			_, _ = fmt.Fprintln(stdout, f.String())
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "mobilint: %d finding(s)\n", len(findings))
+		_, _ = fmt.Fprintf(stderr, "mobilint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

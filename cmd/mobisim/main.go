@@ -82,6 +82,8 @@ func usage() {
 // with round-robin mobility modes against the shared AP plan. Per-client
 // lines are printed in client order so runs with different -jobs values
 // can be diffed byte-for-byte.
+//
+//mobilint:stdout subcommand result tables are the byte-identical-stdout experiment output
 func cmdFleet(args []string) {
 	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
 	clients := fs.Int("clients", 16, "number of independent clients")
@@ -165,6 +167,7 @@ func buildScenario(mode string, duration float64, seed uint64) (*mobility.Scenar
 	}
 }
 
+//mobilint:stdout subcommand result tables are the byte-identical-stdout experiment output
 func cmdClassify(args []string) {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	mode := fs.String("mode", "macro", "ground-truth scenario mode")
@@ -192,6 +195,7 @@ func cmdClassify(args []string) {
 	fmt.Printf("\naccuracy (after 6 s warmup): %.1f%%\n", 100*core.Accuracy(decisions, 6))
 }
 
+//mobilint:stdout subcommand result tables are the byte-identical-stdout experiment output
 func cmdLink(args []string) {
 	fs := flag.NewFlagSet("link", flag.ExitOnError)
 	mode := fs.String("mode", "macro", "ground-truth scenario mode")
@@ -242,6 +246,7 @@ func cmdLink(args []string) {
 	}
 }
 
+//mobilint:stdout subcommand result tables are the byte-identical-stdout experiment output
 func cmdWLAN(args []string) {
 	fs := flag.NewFlagSet("wlan", flag.ExitOnError)
 	duration := fs.Float64("duration", 30, "seconds")
@@ -272,6 +277,7 @@ func cmdWLAN(args []string) {
 	}
 }
 
+//mobilint:stdout subcommand result tables are the byte-identical-stdout experiment output
 func cmdRoam(args []string) {
 	fs := flag.NewFlagSet("roam", flag.ExitOnError)
 	duration := fs.Float64("duration", 40, "seconds")
@@ -298,6 +304,7 @@ func cmdRoam(args []string) {
 	}
 }
 
+//mobilint:stdout subcommand result tables are the byte-identical-stdout experiment output
 func cmdSUBF(args []string) {
 	fs := flag.NewFlagSet("subf", flag.ExitOnError)
 	mode := fs.String("mode", "macro", "ground-truth scenario mode")
@@ -343,6 +350,7 @@ func crossFloorPath() geom.Path {
 	return geom.NewPath(geom.Pt(4, 7), geom.Pt(46, 7), geom.Pt(46, 23), geom.Pt(4, 23))
 }
 
+//mobilint:stdout subcommand result tables are the byte-identical-stdout experiment output
 func cmdMUMIMO(args []string) {
 	fs := flag.NewFlagSet("mumimo", flag.ExitOnError)
 	duration := fs.Float64("duration", 8, "seconds")
@@ -395,6 +403,7 @@ func cmdMUMIMO(args []string) {
 		"total", res.TotalMbps, 100*res.FeedbackFraction)
 }
 
+//mobilint:stdout subcommand result tables are the byte-identical-stdout experiment output
 func cmdSched(args []string) {
 	fs := flag.NewFlagSet("sched", flag.ExitOnError)
 	duration := fs.Float64("duration", 14, "seconds")

@@ -22,6 +22,7 @@ import (
 	"mobiwlan/internal/traceio"
 )
 
+//mobilint:stdout tracegen streams the generated trace to stdout by default
 func main() {
 	var (
 		mode      = flag.String("mode", "macro", "scenario mode: static|env|micro|macro|toward|away")
@@ -84,6 +85,7 @@ func main() {
 		len(recs), *duration, *interval*1000)
 }
 
+//mobilint:stdout -summary renders the trace digest on stdout
 func summary(path string) error {
 	f, err := os.Open(path)
 	if err != nil {

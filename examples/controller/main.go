@@ -27,6 +27,7 @@ import (
 	"mobiwlan/internal/tof"
 )
 
+//mobilint:stdout example walkthroughs narrate their results on stdout
 func main() {
 	const duration = 20.0
 

@@ -16,6 +16,7 @@ import (
 	"mobiwlan/internal/stats"
 )
 
+//mobilint:stdout example walkthroughs narrate their results on stdout
 func main() {
 	const duration = 8.0
 	modes := []mobility.Mode{mobility.Environmental, mobility.Micro, mobility.Macro}

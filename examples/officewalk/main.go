@@ -16,6 +16,7 @@ import (
 	"mobiwlan/internal/stats"
 )
 
+//mobilint:stdout example walkthroughs narrate their results on stdout
 func main() {
 	const duration = 40.0
 	cfg := mobility.DefaultSceneConfig()

@@ -38,6 +38,7 @@ func (p phasedTrajectory) At(t float64) geom.Point {
 	}
 }
 
+//mobilint:stdout example walkthroughs narrate their results on stdout
 func main() {
 	rng := stats.NewRNG(7)
 

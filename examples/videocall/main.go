@@ -18,6 +18,7 @@ import (
 	"mobiwlan/internal/stats"
 )
 
+//mobilint:stdout example walkthroughs narrate their results on stdout
 func main() {
 	const duration = 18.0
 	cfg := mobility.DefaultSceneConfig()

@@ -107,6 +107,8 @@ type ZFSolver struct {
 // or non-square system it returns (dst, false) with dst's contents
 // unspecified, so the caller keeps its buffer either way. dst is grown
 // only when too small; steady-state callers never allocate.
+//
+//mobilint:hotpath
 func (s *ZFSolver) WeightsInto(rows [][]complex128, dst [][]complex128) ([][]complex128, bool) {
 	n := len(rows)
 	if n == 0 || len(rows[0]) != n {

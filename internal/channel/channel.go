@@ -316,6 +316,8 @@ func (m *Model) Response(t float64) *csi.Matrix {
 // Steady-state callers that pass the previous return value back in never
 // allocate. The per-call path scratch lives on the Model, which is why a
 // Model must not be shared between goroutines.
+//
+//mobilint:hotpath
 func (m *Model) ResponseInto(t float64, h *csi.Matrix) *csi.Matrix {
 	client := m.scen.Client.At(t)
 	if h == nil {
@@ -413,6 +415,7 @@ func (m *Model) responseCached(client geom.Point, h *csi.Matrix) {
 	if c.resp == nil {
 		c.resp = csi.NewMatrix(nSub, m.cfg.NTx, m.cfg.NRx)
 	}
+	//mobilint:coldstart scatterer count changes resize per-path state once, then every slot is reused
 	if nPaths != c.nPaths {
 		// Scatterer appearance/removal: resize the per-path state and
 		// poison every cached length so each slot recomputes once.
@@ -532,6 +535,8 @@ func (m *Model) Measure(t float64) Sample {
 // buffer h (nil allocates; see ResponseInto for the reuse contract). The
 // returned Sample's CSI field is h, so it remains valid only until the
 // caller reuses the buffer.
+//
+//mobilint:hotpath
 func (m *Model) MeasureInto(t float64, h *csi.Matrix) Sample {
 	h = m.ResponseInto(t, h)
 	// Estimation noise relative to the channel's RMS amplitude. The noise

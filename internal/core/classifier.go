@@ -258,6 +258,8 @@ func (c *Classifier) Config() Config { return c.cfg }
 // agnostic to the exact spacing. The classifier copies m into its own
 // buffer, so the caller may reuse m for the next measurement; after the
 // buffers warm up the call is allocation-free.
+//
+//mobilint:hotpath
 func (c *Classifier) ObserveCSI(t float64, m *csi.Matrix) {
 	if c.prevCSI != nil {
 		c.simWin.Push(c.ws.Similarity(c.prevCSI, m))
@@ -338,6 +340,8 @@ func (c *Classifier) ToFActive() bool { return c.tofActive }
 
 // ObserveToF feeds one raw ToF reading (in clock cycles) taken at time t.
 // Readings observed while ToF collection is inactive are ignored.
+//
+//mobilint:hotpath
 func (c *Classifier) ObserveToF(t float64, rawCycles float64) {
 	if !c.tofActive {
 		return

@@ -171,6 +171,8 @@ func grow(buf []float64, n int) []float64 {
 // instead of twice per pass, which both removes the redundant Abs calls
 // (the dominant cost) and keeps the two-pass summation order — and
 // therefore the result — bit-identical to Similarity.
+//
+//mobilint:hotpath
 func (w *Workspace) Similarity(a, b *Matrix) float64 {
 	if a == nil || b == nil || !a.SameShape(b) {
 		return 0
@@ -298,6 +300,8 @@ func (m *Matrix) ColumnAt(sc, rx int) []complex128 {
 // CloneInto reuse contract: dst is grown only when its capacity is
 // insufficient, so steady-state callers that pass the previous return
 // value back in never allocate.
+//
+//mobilint:hotpath
 func (m *Matrix) ColumnInto(dst []complex128, sc, rx int) []complex128 {
 	if cap(dst) < m.NTx {
 		dst = make([]complex128, m.NTx)

@@ -68,8 +68,9 @@ func typeName(ctx *Context, t types.Type) string {
 }
 
 var lockParamCheck = &Check{
-	Name: "lock-param",
-	Doc:  "functions must take and return sync-bearing types by pointer; a by-value signature copies the lock on every call",
+	Name:    "lock-param",
+	Default: true,
+	Doc:     "functions must take and return sync-bearing types by pointer; a by-value signature copies the lock on every call",
 	Run: func(ctx *Context) {
 		for _, file := range ctx.Pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
@@ -111,8 +112,9 @@ func checkLockFields(ctx *Context, fl *ast.FieldList, kind string) {
 }
 
 var lockCopyCheck = &Check{
-	Name: "lock-copy",
-	Doc:  "a sync primitive copied by value forks its internal state; share it by pointer",
+	Name:    "lock-copy",
+	Default: true,
+	Doc:     "a sync primitive copied by value forks its internal state; share it by pointer",
 	Run: func(ctx *Context) {
 		for _, file := range ctx.Pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
@@ -170,8 +172,9 @@ func checkLockCopyExpr(ctx *Context, rhs ast.Expr) {
 }
 
 var goCaptureCheck = &Check{
-	Name: "go-capture",
-	Doc:  "goroutines in protocol/worker packages must not capture a shared conn/session; pass it as an argument or guard it with a mutex",
+	Name:    "go-capture",
+	Default: true,
+	Doc:     "goroutines in protocol/worker packages must not capture a shared conn/session; pass it as an argument or guard it with a mutex",
 	Run: func(ctx *Context) {
 		if !ctx.InConcurrency() {
 			return
@@ -213,8 +216,9 @@ var goCaptureCheck = &Check{
 }
 
 var modelCaptureCheck = &Check{
-	Name: "model-capture",
-	Doc:  "goroutines must not capture a channel.Model or a lock-free struct holding one; the model's response cache is single-owner state, so pass it as an argument or build it inside the goroutine",
+	Name:    "model-capture",
+	Default: true,
+	Doc:     "goroutines must not capture a channel.Model or a lock-free struct holding one; the model's response cache is single-owner state, so pass it as an argument or build it inside the goroutine",
 	Run: func(ctx *Context) {
 		for _, file := range ctx.Pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Machine-readable output and the committed-baseline mechanism:
+// `mobilint -format json` is what CI uploads as an artifact, `-format
+// sarif` is what code-hosting UIs ingest for inline PR annotations,
+// and `-baseline lint_baseline.json` lets a future check land
+// warn-first: known findings are recorded in the baseline (kept empty
+// at merge on this repo) and only new ones fail the gate.
+
+// jsonFinding is one finding in -format json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -format json document.
+type jsonReport struct {
+	Version  int           `json:"version"`
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// WriteJSON renders findings as the stable JSON report consumed by
+// CI tooling.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	rep := jsonReport{Version: 1, Count: len(findings), Findings: []jsonFinding{}}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Check: f.Check, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SARIF 2.1.0 skeleton, minimal but schema-valid: one run, one rule
+// per registered check, one result per finding.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string    `json:"id"`
+	ShortDesc sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders findings as SARIF 2.1.0 for PR annotation
+// tooling.
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "mobilint"}},
+		Results: []sarifResult{},
+	}
+	for _, c := range Checks {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID: c.Name, ShortDesc: sarifText{Text: c.Doc},
+		})
+	}
+	sort.Slice(run.Tool.Driver.Rules, func(i, j int) bool {
+		return run.Tool.Driver.Rules[i].ID < run.Tool.Driver.Rules[j].ID
+	})
+	for _, f := range findings {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.Pos.Filename},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// Baseline is a committed set of known findings a gate tolerates.
+// Matching is line-insensitive — (check, file, message) — so pure
+// line-shift refactors do not resurrect baselined findings.
+type Baseline struct {
+	remaining map[string]int
+}
+
+// baselineEntry is one tolerated finding on disk.
+type baselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// baselineFile is the lint_baseline.json document.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+func baselineKey(check, file, message string) string {
+	return check + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file written by hand or from
+// `mobilint -format json` output.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d", path, bf.Version)
+	}
+	b := &Baseline{remaining: map[string]int{}}
+	for _, e := range bf.Findings {
+		b.remaining[baselineKey(e.Check, e.File, e.Message)]++
+	}
+	return b, nil
+}
+
+// Apply filters out findings recorded in the baseline (each entry
+// absorbs one occurrence) and returns the survivors plus the number
+// absorbed.
+func (b *Baseline) Apply(findings []Finding) (kept []Finding, absorbed int) {
+	remaining := make(map[string]int, len(b.remaining))
+	for k, v := range b.remaining {
+		remaining[k] = v
+	}
+	for _, f := range findings {
+		key := baselineKey(f.Check, f.Pos.Filename, f.Message)
+		if remaining[key] > 0 {
+			remaining[key]--
+			absorbed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, absorbed
+}

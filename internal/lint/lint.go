@@ -17,7 +17,17 @@
 //     wrapped errors must use %w so errors.Is/As keep working (checks
 //     discarded-error, errorf-wrap);
 //   - documentation: every package must carry a package doc comment so
-//     the godoc index stays complete (check pkg-doc).
+//     the godoc index stays complete (check pkg-doc);
+//   - interprocedural contracts, verified over a static call graph of
+//     the whole module: //mobilint:hotpath-annotated functions must
+//     not reach an allocating construct on any warm call path, with
+//     the offending chain printed (check hotpath-alloc); a *stats.RNG
+//     must be Split before crossing a goroutine or worker-pool
+//     boundary (check rng-split); and only //mobilint:stdout-annotated
+//     writers may touch os.Stdout or fmt.Print* (check stdout-purity).
+//     The graph resolves direct and concrete-method calls statically,
+//     interface calls conservatively to every in-module implementation,
+//     and func-value calls to locally assigned literals.
 //
 // A finding can be suppressed with a justified directive on the same
 // line or the line above:
@@ -25,7 +35,8 @@
 //	//lint:ignore <check> <reason>
 //
 // Directives without a reason (or naming an unknown check) are
-// themselves findings (bad-ignore) and suppress nothing.
+// themselves findings (bad-ignore) and suppress nothing; the same
+// applies to malformed //mobilint: annotations (bad-annotation).
 //
 // The analysis is stdlib-only (go/parser, go/ast, go/types, go/token):
 // in-module imports are type-checked from source under the module
@@ -57,14 +68,22 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
 }
 
-// Check is one named, suppressible rule.
+// Check is one named, suppressible rule. Exactly one of Run (a
+// per-package AST check) and RunModule (an interprocedural check over
+// the whole call-graph universe) is set.
 type Check struct {
 	// Name identifies the check in output and //lint:ignore directives.
 	Name string
 	// Doc is the one-line rationale shown by mobilint -list.
 	Doc string
+	// Default reports whether the check runs when no -checks subset is
+	// given; mobilint -list shows it.
+	Default bool
 	// Run reports the check's findings for ctx.Pkg.
 	Run func(ctx *Context)
+	// RunModule reports findings over the module-wide Program; it runs
+	// once per invocation, after every selected package has loaded.
+	RunModule func(mctx *ModuleContext)
 }
 
 // Checks lists every registered rule, in report order.
@@ -80,6 +99,9 @@ var Checks = []*Check{
 	discardedErrorCheck,
 	errorfWrapCheck,
 	pkgDocCheck,
+	stdoutPurityCheck,
+	hotpathCheck,
+	rngSplitCheck,
 }
 
 // badIgnoreCheck is the name under which malformed suppression
@@ -196,6 +218,25 @@ func (ctx *Context) TypeOf(e ast.Expr) types.Type {
 	return ctx.Pkg.Info.TypeOf(e)
 }
 
+// ModuleContext is the state handed to a module-level check's
+// RunModule: the call-graph Program over every loaded module package.
+type ModuleContext struct {
+	Cfg  *Config
+	Prog *Program
+
+	check    *Check
+	findings *[]Finding
+}
+
+// Reportf records a module-level finding for the running check.
+func (mctx *ModuleContext) Reportf(pos token.Pos, format string, args ...any) {
+	*mctx.findings = append(*mctx.findings, Finding{
+		Pos:     mctx.Prog.Fset.Position(pos),
+		Check:   mctx.check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // PkgFunc resolves e as a qualified reference pkg.Name to an imported
 // package's exported identifier.
 func (ctx *Context) PkgFunc(e ast.Expr) (pkgPath, name string, ok bool) {
@@ -288,7 +329,11 @@ func Run(cfg Config) ([]Finding, error) {
 
 	var enabled []*Check
 	if len(cfg.Checks) == 0 {
-		enabled = Checks
+		for _, c := range Checks {
+			if c.Default {
+				enabled = append(enabled, c)
+			}
+		}
 	} else {
 		for _, name := range cfg.Checks {
 			c := checkByName(name)
@@ -310,19 +355,53 @@ func Run(cfg Config) ([]Finding, error) {
 	ld := newLoader(root, modPath)
 
 	var findings []Finding
+	supAll := map[string]map[int][]string{}
+	selDirs := map[string]bool{}
 	for _, dir := range dirs {
 		pkg, err := ld.loadDir(dir)
 		if err != nil {
 			return nil, err
 		}
+		selDirs[pkg.Dir] = true
 		sup, bad := parseDirectives(pkg)
+		for file, lines := range sup {
+			supAll[file] = lines
+		}
 		pkgFindings := bad
+		pkgFindings = append(pkgFindings, pkg.annotations().bad...)
 		for _, check := range enabled {
+			if check.Run == nil {
+				continue
+			}
 			ctx := &Context{Cfg: &cfg, Pkg: pkg, check: check, findings: &pkgFindings}
 			check.Run(ctx)
 		}
 		for _, f := range pkgFindings {
 			if !suppressed(f, sup) {
+				findings = append(findings, f)
+			}
+		}
+	}
+
+	// Module-level checks run once over the loader's whole universe
+	// (selected packages plus transitive in-module imports), so call
+	// chains cross package boundaries; findings are then filtered to
+	// the selected packages and the same suppression table.
+	var moduleChecks []*Check
+	for _, check := range enabled {
+		if check.RunModule != nil {
+			moduleChecks = append(moduleChecks, check)
+		}
+	}
+	if len(moduleChecks) > 0 {
+		prog := buildProgram(ld.fset, modPath, ld.allPackages())
+		var mFindings []Finding
+		for _, check := range moduleChecks {
+			mctx := &ModuleContext{Cfg: &cfg, Prog: prog, check: check, findings: &mFindings}
+			check.RunModule(mctx)
+		}
+		for _, f := range mFindings {
+			if selDirs[filepath.Dir(f.Pos.Filename)] && !suppressed(f, supAll) {
 				findings = append(findings, f)
 			}
 		}

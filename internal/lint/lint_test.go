@@ -77,7 +77,7 @@ func gotFindings(findings []Finding) map[string][]string {
 // TestFixtures runs every check against each fixture package and
 // compares the findings with the // want markers in the sources.
 func TestFixtures(t *testing.T) {
-	for _, dir := range []string{"determ", "rngbad", "rngok", "locks", "gocap", "modelcap", "errs", "clean", "nodoc"} {
+	for _, dir := range []string{"determ", "rngbad", "rngok", "locks", "gocap", "modelcap", "errs", "clean", "nodoc", "hotpath", "rngflow", "stdoutpure", "graph"} {
 		t.Run(dir, func(t *testing.T) {
 			findings, err := Run(fixtureConfig(dir))
 			if err != nil {
@@ -103,7 +103,7 @@ func TestFixtures(t *testing.T) {
 // fixture packages produce a non-empty finding list with file:line
 // positions, i.e. mobilint would exit non-zero on them.
 func TestFixturesFailTheGate(t *testing.T) {
-	for _, dir := range []string{"determ", "rngbad", "locks", "gocap", "modelcap", "errs", "badignore", "nodoc"} {
+	for _, dir := range []string{"determ", "rngbad", "locks", "gocap", "modelcap", "errs", "badignore", "nodoc", "hotpath", "rngflow", "stdoutpure"} {
 		findings, err := Run(fixtureConfig(dir))
 		if err != nil {
 			t.Fatal(err)
@@ -177,8 +177,11 @@ func TestUnknownCheck(t *testing.T) {
 func TestCheckNamesUniqueAndDocumented(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range Checks {
-		if c.Name == "" || c.Doc == "" || c.Run == nil {
+		if c.Name == "" || c.Doc == "" {
 			t.Errorf("check %+v incomplete", c)
+		}
+		if (c.Run == nil) == (c.RunModule == nil) {
+			t.Errorf("check %s must set exactly one of Run and RunModule", c.Name)
 		}
 		if seen[c.Name] {
 			t.Errorf("duplicate check name %s", c.Name)
@@ -200,6 +203,51 @@ func TestModuleIsClean(t *testing.T) {
 		t.Skip("type-checks the whole module; covered by the CI mobilint step")
 	}
 	findings, err := Run(Config{Dir: "../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestHotpathChainReported is the acceptance demo for hotpath-alloc:
+// the hotpath fixture's MeasureInto-shaped root reaches fmt.Sprintf
+// two calls down (MeasureInto -> response -> label), and the finding
+// must print that full chain, in order, not just the Sprintf site.
+func TestHotpathChainReported(t *testing.T) {
+	findings, err := Run(fixtureConfig("hotpath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Check != "hotpath-alloc" || !strings.Contains(f.Message, "fmt.Sprintf") {
+			continue
+		}
+		msg := f.Message
+		i := strings.Index(msg, "MeasureInto")
+		j := strings.Index(msg, "response")
+		k := strings.Index(msg, "label")
+		if i < 0 || j < 0 || k < 0 || !(i < j && j < k) {
+			t.Errorf("chain out of order or incomplete: %q", msg)
+		}
+		return
+	}
+	t.Fatalf("no hotpath-alloc finding for the fmt.Sprintf chain in %v", findings)
+}
+
+// TestModuleIsCleanV2 runs only the three interprocedural contracts
+// over the real tree: annotations plus code must satisfy them with no
+// suppressions pending. Skipped in -short mode like TestModuleIsClean.
+func TestModuleIsCleanV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; covered by the CI mobilint step")
+	}
+	cfg := Config{
+		Dir:    "../..",
+		Checks: []string{"hotpath-alloc", "rng-split", "stdout-purity"},
+	}
+	findings, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,9 @@ type Package struct {
 	// TypeErr records the first type-checking error, if any, for
 	// diagnostics. A non-nil TypeErr does not stop linting.
 	TypeErr error
+
+	// ann caches the parsed //mobilint: directives (see annotations()).
+	ann *pkgAnnotations
 }
 
 // findModuleRoot walks up from dir to the enclosing go.mod and returns
@@ -167,6 +170,18 @@ func (l *loader) loadDir(dir string) (*Package, error) {
 	}
 	l.pkgs[ip] = pkg
 	return pkg, nil
+}
+
+// allPackages returns every module package the loader has seen —
+// the selected packages plus their transitive in-module imports —
+// sorted by import path. This is the call-graph universe.
+func (l *loader) allPackages() []*Package {
+	var pkgs []*Package
+	for _, pkg := range l.pkgs {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs
 }
 
 // goFilesIn lists the non-test .go files in dir, sorted.

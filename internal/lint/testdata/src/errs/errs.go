@@ -56,6 +56,6 @@ func Builders() string {
 	b.WriteString("x")
 	fmt.Fprintf(&b, "%d", 1)
 	fmt.Fprintln(os.Stderr, "status")
-	fmt.Println("done")
+	fmt.Println("done") // want stdout-purity
 	return b.String()
 }

@@ -1,0 +1,43 @@
+// Package graph pins the call-graph builder's edge kinds: direct
+// calls, concrete method calls, interface dispatch, closures bound to
+// variables, and go statements. callgraph_test.go asserts the edges.
+package graph
+
+// Shape is implemented by Circle and Square; Dynamic's dispatch must
+// conservatively target both.
+type Shape interface{ Area() float64 }
+
+// Circle is one Shape implementation.
+type Circle struct{ R float64 }
+
+// Area returns the (approximate) circle area.
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+// Square is the other Shape implementation.
+type Square struct{ S float64 }
+
+// Area returns the square area.
+func (s Square) Area() float64 { return s.S * s.S }
+
+// Direct calls helper statically.
+func Direct() float64 { return helper() }
+
+func helper() float64 { return 1 }
+
+// Method calls a concrete method: a static edge, not dispatch.
+func Method(c Circle) float64 { return c.Area() }
+
+// Dynamic dispatches through the interface.
+func Dynamic(s Shape) float64 { return s.Area() }
+
+// Closure binds a literal to a variable and calls it; the edge must
+// resolve to the literal's synthetic node.
+func Closure() float64 {
+	f := func() float64 { return 2 }
+	return f()
+}
+
+// Spawn starts helper on its own goroutine; the edge must be marked.
+func Spawn() {
+	go helper()
+}

@@ -1,0 +1,96 @@
+// Package hotpath exercises the hotpath-alloc interprocedural check:
+// a //mobilint:hotpath root must not reach an allocating construct on
+// any warm static call path, and the finding must name the full chain.
+package hotpath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample mirrors the shape of channel.Model.MeasureInto's result.
+type Sample struct {
+	RSSI  float64
+	Label string
+}
+
+type model struct {
+	buf   []float64
+	gains []float64
+}
+
+// MeasureInto is the MeasureInto-shaped root: the allocation is two
+// calls away (MeasureInto -> response -> label), so the finding must
+// carry the whole chain, not just the Sprintf site.
+//
+//mobilint:hotpath
+func (m *model) MeasureInto(t float64, dst []float64) Sample {
+	return Sample{RSSI: m.response(t, dst), Label: ""}
+}
+
+func (m *model) response(t float64, dst []float64) float64 {
+	s := 0.0
+	for i := range dst {
+		dst[i] = math.Sqrt(t) + float64(i)
+		s += dst[i]
+	}
+	if s < 0 {
+		s += float64(len(m.label(t)))
+	}
+	return s
+}
+
+func (m *model) label(t float64) string {
+	return fmt.Sprintf("t=%.3f", t) // want hotpath-alloc
+}
+
+// Direct allocates in the root itself.
+//
+//mobilint:hotpath
+func Direct(n int) []float64 {
+	return make([]float64, n) // want hotpath-alloc
+}
+
+// GuardedLazy allocates only under a nil guard — the automatic
+// cold-branch rule must keep this clean.
+//
+//mobilint:hotpath
+func (m *model) GuardedLazy(x float64) float64 {
+	if m.buf == nil {
+		m.buf = make([]float64, 64)
+	}
+	m.buf[0] = x
+	return m.buf[0]
+}
+
+// Resized allocates only inside an annotated warm-up statement.
+//
+//mobilint:hotpath
+func (m *model) Resized(n int, x float64) float64 {
+	//mobilint:coldstart gain table resizes once per scatterer change, then every slot reuses it
+	if n != len(m.gains) {
+		m.gains = make([]float64, n)
+	}
+	m.gains[0] = x
+	return m.gains[0]
+}
+
+// Amortized appends into a field and a reset slice — the amortized
+// append contract, allowed on the hot path.
+//
+//mobilint:hotpath
+func (m *model) Amortized(dst []float64, x float64) []float64 {
+	m.buf = append(m.buf, x)
+	dst = append(dst[:0], x)
+	return dst
+}
+
+// ColdCallers allocates freely: it carries no annotation, so the
+// check must not traverse it.
+func ColdCallers(n int) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Sample{Label: fmt.Sprint(i)})
+	}
+	return out
+}

@@ -55,11 +55,13 @@ func Synchronized(o *owner, out chan<- float64) {
 	}()
 }
 
-// Fresh builds its own model inside the goroutine — the pattern the
+// Fresh builds its own model inside the goroutine, from a
+// split-off RNG — the pattern the
 // worker pool and the controller example use: allowed.
 func Fresh(cfg channel.Config, scen *mobility.Scenario, rng *stats.RNG, out chan<- float64) {
+	child := rng.Split()
 	go func() {
-		m := channel.New(cfg, scen, rng)
+		m := channel.New(cfg, scen, child)
 		out <- m.MeanRSSI(0)
 	}()
 }

@@ -1,0 +1,39 @@
+// Package stdoutpure exercises the stdout-purity check: only
+// //mobilint:stdout-annotated writers may touch os.Stdout or
+// fmt.Print*; everything else routes diagnostics to stderr.
+package stdoutpure
+
+import (
+	"fmt"
+	"os"
+)
+
+// Noisy prints diagnostics straight to stdout: flagged.
+func Noisy(v int) {
+	fmt.Println("value", v) // want stdout-purity
+	fmt.Printf("v=%d\n", v) // want stdout-purity
+	println("debug", v)     // want stdout-purity
+}
+
+// Grab leaks os.Stdout out of an unapproved function.
+func Grab() *os.File {
+	return os.Stdout // want stdout-purity
+}
+
+// Render is this package's approved writer; its body (literals
+// included) may print.
+//
+//mobilint:stdout the fixture's render step owns stdout
+func Render(rows []string) {
+	emit := func(r string) { fmt.Println(r) }
+	for _, r := range rows {
+		emit(r)
+	}
+}
+
+// Log writes diagnostics to stderr: always allowed.
+func Log(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+//mobilint:stdont typo of a verb // want bad-annotation

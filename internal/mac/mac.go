@@ -89,6 +89,8 @@ func (l *Link) MaxStreams() int {
 // at time t and returns the outcome. Subframe k is decoded against the
 // channel estimate taken at frame start; its post-equalization SINR decays
 // with the true channel's drift over the subframe's offset into the frame.
+//
+//mobilint:hotpath
 func (l *Link) Transmit(t float64, mcs phy.MCS, nMPDU int) FrameResult {
 	if nMPDU < 1 {
 		nMPDU = 1

@@ -49,6 +49,8 @@ func NewEventHeap(n int) *EventHeap {
 func (h *EventHeap) Len() int { return len(h.ev) }
 
 // Push queues an event.
+//
+//mobilint:hotpath
 func (h *EventHeap) Push(e Event) {
 	h.ev = append(h.ev, e)
 	i := len(h.ev) - 1
@@ -64,6 +66,8 @@ func (h *EventHeap) Push(e Event) {
 
 // Pop removes and returns the minimum event under the (T, BSS, Client)
 // order. It panics on an empty heap.
+//
+//mobilint:hotpath
 func (h *EventHeap) Pop() Event {
 	if len(h.ev) == 0 {
 		panic("medium: Pop on empty EventHeap")

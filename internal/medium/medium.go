@@ -274,8 +274,11 @@ func (m *Medium) cwFor(retries int) int {
 // keeps a single-client contended run bit-identical to the uncontended
 // simulation path. Deferred grants add the real deferral wait plus
 // DIFS + (drawn backoff) slots on top.
+//
+//mobilint:hotpath
 func (m *Medium) Reserve(client, bss int, t, dur float64, pos geom.Point) Grant {
 	if !m.finalized {
+		//mobilint:coldstart one-time lazy build of contention domains on first Reserve
 		m.finalize()
 	}
 	d := &m.domains[m.bss[bss].domain]

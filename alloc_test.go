@@ -7,12 +7,14 @@
 package mobiwlan
 
 import (
+	"fmt"
 	"testing"
 
 	"mobiwlan/internal/beamforming"
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
+	"mobiwlan/internal/ctlproto"
 	"mobiwlan/internal/geom"
 	"mobiwlan/internal/mac"
 	"mobiwlan/internal/medium"
@@ -286,5 +288,93 @@ func TestInstrumentedTransmitAllocFree(t *testing.T) {
 	}
 	if link.Met == nil {
 		t.Fatal("metrics bundle missing")
+	}
+}
+
+// TestCoordinatorReportAllocFree pins the controller's per-report shard
+// hot path at city scale: with a 10k-AP fleet and warm client state,
+// OnMobilityReportInto must not allocate — neither on the steady-state
+// (non-trigger) path nor on the throttled and mid-round macro-away
+// paths. Metrics are attached so the instrumented path is what's pinned.
+func TestCoordinatorReportAllocFree(t *testing.T) {
+	const nAPs = 10_000
+	allAPs := make([]string, nAPs)
+	for i := range allAPs {
+		allAPs[i] = fmt.Sprintf("ap%05d", i)
+	}
+	coord := ctlproto.NewCoordinator()
+	coord.MaxFanout = 8
+	coord.Met = ctlproto.NewMetrics(obs.NewRegistry(), nil)
+
+	clients := make([]string, 64)
+	for i := range clients {
+		clients[i] = fmt.Sprintf("sta%03d", i)
+	}
+	var targets []string
+	rep := ctlproto.MobilityReport{APID: allAPs[0], RSSIdBm: -60}
+	// Warm up: create every client's state, and open one measurement
+	// round so the loop also walks the measuring early-return path.
+	for _, c := range clients {
+		rep.Client = c
+		rep.State = core.StateStatic
+		targets = coord.OnMobilityReportInto(&rep, allAPs, targets)
+	}
+	rep.Client = clients[0]
+	rep.State = core.StateMacroAway
+	rep.Time = 100
+	targets = coord.OnMobilityReportInto(&rep, allAPs, targets)
+	if len(targets) != 8 {
+		t.Fatalf("warm-up round opened with %d targets, want 8", len(targets))
+	}
+
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		rep.Client = clients[i%len(clients)]
+		rep.Time = 100 + float64(i)
+		if i%3 == 0 {
+			// clients[0] is mid-round: macro-away returns early; for the
+			// rest this is a throttle-or-open round on the warm buffer.
+			rep.State = core.StateMacroAway
+		} else {
+			rep.State = core.StateStatic
+		}
+		targets = coord.OnMobilityReportInto(&rep, allAPs, targets)
+	})
+	if allocs != 0 {
+		t.Fatalf("OnMobilityReportInto at 10k APs: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDeltaDecoderApplyAllocFree pins the batch-expansion side of the
+// report hot path: with a warm client table, applying snapshots and
+// deltas must not allocate per entry.
+func TestDeltaDecoderApplyAllocFree(t *testing.T) {
+	var dec ctlproto.DeltaDecoder
+	var out ctlproto.MobilityReport
+	clients := make([]string, 64)
+	for i := range clients {
+		clients[i] = fmt.Sprintf("sta%03d", i)
+		e := ctlproto.BatchEntry{Client: clients[i], Snap: true, S: 2, T: int64(i), R: -6000}
+		if err := dec.Apply("ap1", &e, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		e := ctlproto.BatchEntry{Client: clients[i%len(clients)], T: 1000, R: 3}
+		if i%16 == 0 {
+			// Re-snapshots of known clients ride the same path.
+			e.Snap = true
+			e.S = 3
+			e.T = int64(i) * 1000
+		}
+		if err := dec.Apply("ap1", &e, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DeltaDecoder.Apply with warm table: %v allocs/op, want 0", allocs)
 	}
 }

@@ -55,6 +55,12 @@ var hotpathManifest = map[string][]hotpathPin{
 	"TestMediumReserveAllocFree": {
 		{"internal/medium/medium.go", "Medium", "Reserve"},
 	},
+	"TestCoordinatorReportAllocFree": {
+		{"internal/ctlproto/coordinator.go", "Coordinator", "OnMobilityReportInto"},
+	},
+	"TestDeltaDecoderApplyAllocFree": {
+		{"internal/ctlproto/batch.go", "DeltaDecoder", "Apply"},
+	},
 	"TestInstrumentedTransmitAllocFree": {
 		{"internal/mac/mac.go", "Link", "Transmit"},
 	},

@@ -10,13 +10,16 @@
 package mobiwlan
 
 import (
+	"fmt"
 	"testing"
 
 	"mobiwlan/internal/beamforming"
 	"mobiwlan/internal/channel"
 	"mobiwlan/internal/core"
 	"mobiwlan/internal/csi"
+	"mobiwlan/internal/ctlproto"
 	"mobiwlan/internal/experiments"
+	"mobiwlan/internal/loadgen"
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/phy"
@@ -322,6 +325,122 @@ func BenchmarkZFPrecoder(b *testing.B) {
 		w, ok = solver.WeightsInto(rows, w)
 		if !ok {
 			b.Fatal("singular precoding system in benchmark data")
+		}
+	}
+}
+
+// ctlBenchReports builds a fixed 64-client report stream on the wire
+// quantization grid for the control-plane micro-benchmarks.
+func ctlBenchReports() []ctlproto.MobilityReport {
+	reps := make([]ctlproto.MobilityReport, 1024)
+	for i := range reps {
+		reps[i] = ctlproto.MobilityReport{
+			APID:    "ap1",
+			Client:  fmt.Sprintf("sta%03d", i%64),
+			State:   core.StateMicro,
+			Time:    ctlproto.UnquantTime(int64(i) * 250_000),
+			RSSIdBm: ctlproto.UnquantRSSI(-6000 + int64(i%100)),
+		}
+	}
+	return reps
+}
+
+// BenchmarkCtlBatchEncode measures the per-report cost of the v2 delta
+// encoder in steady state (warm client table, reused batch buffer).
+func BenchmarkCtlBatchEncode(b *testing.B) {
+	reps := ctlBenchReports()
+	enc := ctlproto.BatchEncoder{APID: "ap1", SnapshotEvery: 16}
+	var batch ctlproto.ReportBatch
+	for i := 0; i < 512; i++ { // warm the client table and entry buffer
+		if err := enc.Add(&reps[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	enc.Flush(&batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Add(&reps[i%len(reps)]); err != nil {
+			b.Fatal(err)
+		}
+		if enc.Len() == 64 {
+			if !enc.Flush(&batch) {
+				b.Fatal("empty flush")
+			}
+		}
+	}
+}
+
+// BenchmarkCtlDeltaDecode measures the per-entry cost of expanding a
+// delta/snapshot stream back into absolute reports.
+func BenchmarkCtlDeltaDecode(b *testing.B) {
+	reps := ctlBenchReports()
+	enc := ctlproto.BatchEncoder{APID: "ap1", SnapshotEvery: 16}
+	var batch ctlproto.ReportBatch
+	var entries []ctlproto.BatchEntry
+	for i := range reps {
+		if err := enc.Add(&reps[i]); err != nil {
+			b.Fatal(err)
+		}
+		if enc.Len() == 64 {
+			enc.Flush(&batch)
+			entries = append(entries, batch.Entries...)
+		}
+	}
+	if enc.Flush(&batch) {
+		entries = append(entries, batch.Entries...)
+	}
+	var dec ctlproto.DeltaDecoder
+	var out ctlproto.MobilityReport
+	for i := range entries { // warm the client table
+		if err := dec.Apply("ap1", &entries[i], &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Apply("ap1", &entries[i%len(entries)], &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCtlCoordinatorReport measures the shard hot path at city
+// scale: one mobility report against a 10k-AP fleet with warm state.
+func BenchmarkCtlCoordinatorReport(b *testing.B) {
+	allAPs := make([]string, 10_000)
+	for i := range allAPs {
+		allAPs[i] = fmt.Sprintf("ap%05d", i)
+	}
+	coord := ctlproto.NewCoordinator()
+	coord.MaxFanout = 8
+	clients := make([]string, 64)
+	rep := ctlproto.MobilityReport{APID: allAPs[0], State: core.StateStatic, RSSIdBm: -60}
+	var targets []string
+	for i := range clients {
+		clients[i] = fmt.Sprintf("sta%03d", i)
+		rep.Client = clients[i]
+		targets = coord.OnMobilityReportInto(&rep, allAPs, targets)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.Client = clients[i%len(clients)]
+		rep.Time = float64(i)
+		targets = coord.OnMobilityReportInto(&rep, allAPs, targets)
+	}
+}
+
+// BenchmarkCtlLoadSchedule measures generating one AP's deterministic
+// report schedule (the ctlload inner loop).
+func BenchmarkCtlLoadSchedule(b *testing.B) {
+	cfg := loadgen.Defaults()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sched := loadgen.GenerateAP(cfg, 7); len(sched) == 0 {
+			b.Fatal("empty schedule")
 		}
 	}
 }

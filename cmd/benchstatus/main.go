@@ -49,7 +49,7 @@ import (
 // and link pipelines that consume them. Full figure regeneration benches
 // (BenchmarkFigure*) are excluded by default because their runtime would
 // dominate CI; pass -bench '.' to snapshot everything.
-const defaultBench = "^(BenchmarkChannelResponse|BenchmarkChannelMeasure|BenchmarkCSISimilarity|BenchmarkEffectiveSNR|BenchmarkClassifierPipeline|BenchmarkLinkSimSecond|BenchmarkStaticLinkSecond|BenchmarkStaticLinkSecondUncached|BenchmarkEnvLinkSecond|BenchmarkEnvLinkSecondUncached|BenchmarkWLANFleet|BenchmarkContendedFleet|BenchmarkZFPrecoder)$"
+const defaultBench = "^(BenchmarkChannelResponse|BenchmarkChannelMeasure|BenchmarkCSISimilarity|BenchmarkEffectiveSNR|BenchmarkClassifierPipeline|BenchmarkLinkSimSecond|BenchmarkStaticLinkSecond|BenchmarkStaticLinkSecondUncached|BenchmarkEnvLinkSecond|BenchmarkEnvLinkSecondUncached|BenchmarkWLANFleet|BenchmarkContendedFleet|BenchmarkZFPrecoder|BenchmarkCtlBatchEncode|BenchmarkCtlDeltaDecode|BenchmarkCtlCoordinatorReport|BenchmarkCtlLoadSchedule)$"
 
 // Snapshot is the normalized on-disk form of one benchmark run.
 type Snapshot struct {

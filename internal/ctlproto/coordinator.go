@@ -1,6 +1,8 @@
 package ctlproto
 
 import (
+	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -17,8 +19,17 @@ type Coordinator struct {
 	// MinInterval throttles consecutive roams of the same client, in
 	// report-time seconds.
 	MinInterval float64
+	// MaxFanout caps how many APs are asked to measure per round; 0
+	// means everyone but the serving AP. When capped, the targets are
+	// the APs cyclically following the serving AP in the sorted AP
+	// list — deterministic, and spread across the fleet rather than
+	// always hammering the alphabetically-first APs.
+	MaxFanout int
 	// Met, when set, collects roam-decision counters and latencies.
 	Met *Metrics
+	// Log, when set, records every completed measurement round for
+	// deterministic run-to-run comparison (see DecisionLog).
+	Log *DecisionLog
 
 	mu      sync.Mutex
 	clients map[string]*clientState
@@ -34,7 +45,15 @@ type clientState struct {
 	// measurement round; decision latency is measured against it in
 	// report (sim) time.
 	measureStart float64
-	reports      map[string]MeasureReport
+	// measureAP/measureRSSI freeze the serving view at round start, so
+	// the decision compares against the RSSI that triggered it, not
+	// whatever report raced in while neighbors were measuring.
+	measureAP   string
+	measureRSSI float64
+	// expected is the number of measure reports that completes the
+	// round, fixed at round start.
+	expected int
+	reports  map[string]MeasureReport
 }
 
 // NewCoordinator returns a coordinator with the paper's thresholds.
@@ -48,11 +67,31 @@ func NewCoordinator() *Coordinator {
 
 // OnMobilityReport ingests a serving AP's classifier output. When the
 // client is macro-away (and not throttled), it returns the list of AP IDs
-// the controller should send MeasureRequests to (everyone but the serving
-// AP); otherwise it returns nil.
+// the controller should send MeasureRequests to; otherwise it returns nil.
+// It is the allocating convenience wrapper around OnMobilityReportInto.
 func (c *Coordinator) OnMobilityReport(rep MobilityReport, allAPs []string) []string {
+	targets := c.OnMobilityReportInto(&rep, allAPs, nil)
+	if len(targets) == 0 {
+		return nil
+	}
+	return targets
+}
+
+// OnMobilityReportInto is the allocation-free form of OnMobilityReport
+// for the server's report hot path: targets are appended into the
+// caller's buffer (reset to [:0] first) and the per-client state is
+// reused across rounds. allAPs must be sorted ascending (the server's
+// session table keeps it that way); the cap on targets is
+// c.MaxFanout. The returned slice aliases the targets buffer.
+//
+//mobilint:hotpath
+func (c *Coordinator) OnMobilityReportInto(rep *MobilityReport, allAPs []string, targets []string) []string {
+	targets = targets[:0]
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.clients == nil {
+		c.clients = map[string]*clientState{}
+	}
 	st := c.clients[rep.Client]
 	if st == nil {
 		st = &clientState{lastRoam: -1e18, reports: map[string]MeasureReport{}}
@@ -62,16 +101,36 @@ func (c *Coordinator) OnMobilityReport(rep MobilityReport, allAPs []string) []st
 	st.servingRSSI = rep.RSSIdBm
 	st.state = rep.State
 	if rep.State != core.StateMacroAway || rep.Time-st.lastRoam < c.MinInterval || st.measuring {
-		return nil
+		return targets
+	}
+	n := len(allAPs)
+	k := c.MaxFanout
+	if k <= 0 || k > n-1 {
+		k = n - 1
+	}
+	if k > 0 {
+		// Walk the sorted AP list cyclically from just past the serving
+		// AP; SearchStrings finds its slot (or insertion point).
+		idx := sort.SearchStrings(allAPs, rep.APID)
+		for off := 1; off <= n && len(targets) < k; off++ {
+			ap := allAPs[(idx+off)%n]
+			if ap != rep.APID {
+				targets = append(targets, ap)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		// Nobody to ask (single-AP fleet): don't open a round that could
+		// never complete.
+		return targets
 	}
 	st.measuring = true
 	st.measureStart = rep.Time
-	st.reports = map[string]MeasureReport{}
-	var targets []string
-	for _, ap := range allAPs {
-		if ap != rep.APID {
-			targets = append(targets, ap)
-		}
+	st.measureAP = rep.APID
+	st.measureRSSI = rep.RSSIdBm
+	st.expected = len(targets)
+	for ap := range st.reports {
+		delete(st.reports, ap)
 	}
 	c.Met.observeMeasureStart(rep.Time, len(targets))
 	return targets
@@ -82,6 +141,15 @@ func (c *Coordinator) OnMobilityReport(rep MobilityReport, allAPs []string) []st
 // similar-or-better RSSI that the client is approaching exists, it returns
 // a RoamDirective (and true); otherwise (nil, false) once measurement
 // completes, or (nil, false) while reports are still pending.
+//
+// expected is a fallback for callers driving the coordinator directly;
+// when the round was opened by OnMobilityReportInto the count fixed at
+// round start wins, so sessions joining or leaving mid-round cannot
+// stall or double-fire the decision.
+//
+// The decision timestamp is the maximum report time in the round — an
+// order-independent aggregate — so decision logs are identical no
+// matter how socket scheduling interleaved the arrivals.
 func (c *Coordinator) OnMeasureReport(rep MeasureReport, expected int) (*RoamDirective, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -90,23 +158,38 @@ func (c *Coordinator) OnMeasureReport(rep MeasureReport, expected int) (*RoamDir
 		return nil, false
 	}
 	st.reports[rep.APID] = rep
+	if st.expected > 0 {
+		expected = st.expected
+	}
 	if len(st.reports) < expected {
 		return nil, false
 	}
 	st.measuring = false
-	// Decision: strongest approaching candidate within SimilarDB.
+	roundTime := st.measureStart
+	for _, r := range st.reports {
+		if r.Time > roundTime {
+			roundTime = r.Time
+		}
+	}
+	latency := roundTime - st.measureStart
+	// Decision: strongest approaching candidate within SimilarDB of the
+	// RSSI that opened the round.
 	type cand struct {
 		ap   string
 		rssi float64
 	}
 	var cands []cand
 	for ap, r := range st.reports {
-		if r.Approaching && r.RSSIdBm >= st.servingRSSI-c.SimilarDB {
+		if r.Approaching && r.RSSIdBm >= st.measureRSSI-c.SimilarDB {
 			cands = append(cands, cand{ap, r.RSSIdBm})
 		}
 	}
 	if len(cands) == 0 {
-		c.Met.observeDecision(rep.Time, rep.Time-st.measureStart, false)
+		c.Met.observeDecision(roundTime, latency, false)
+		c.Log.add(DecisionEntry{
+			Client: rep.Client, Time: roundTime, Latency: latency,
+			ServingAP: st.measureAP,
+		})
 		return nil, false
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -115,16 +198,21 @@ func (c *Coordinator) OnMeasureReport(rep MeasureReport, expected int) (*RoamDir
 		}
 		return cands[i].ap < cands[j].ap
 	})
-	st.lastRoam = rep.Time
-	c.Met.observeDecision(rep.Time, rep.Time-st.measureStart, true)
+	st.lastRoam = roundTime
+	c.Met.observeDecision(roundTime, latency, true)
 	names := make([]string, len(cands))
 	for i, cd := range cands {
 		names[i] = cd.ap
 	}
+	c.Log.add(DecisionEntry{
+		Client: rep.Client, Time: roundTime, Latency: latency,
+		ServingAP: st.measureAP, Target: names[0], Roamed: true,
+	})
 	return &RoamDirective{
 		Client:     rep.Client,
-		ServingAP:  st.servingAP,
+		ServingAP:  st.measureAP,
 		Candidates: names,
+		Time:       roundTime,
 	}, true
 }
 
@@ -138,4 +226,85 @@ func (c *Coordinator) ClientState(client string) (servingAP string, state core.S
 		return "", core.StateUnknown, false
 	}
 	return st.servingAP, st.state, true
+}
+
+// A DecisionEntry records one completed measurement round.
+type DecisionEntry struct {
+	Client    string
+	Time      float64
+	Latency   float64
+	ServingAP string
+	// Target is the strongest admitted candidate ("" when the round
+	// decided not to roam).
+	Target string
+	Roamed bool
+}
+
+// A DecisionLog accumulates completed rounds for run-to-run comparison.
+// Every field of every entry derives from report (sim) time and
+// order-independent aggregates, so two identically-seeded runs produce
+// the same multiset of entries; WriteText renders them in a total order,
+// making equal logs byte-identical regardless of goroutine scheduling.
+// Safe for concurrent use; nil disables logging.
+type DecisionLog struct {
+	mu      sync.Mutex
+	entries []DecisionEntry
+}
+
+func (l *DecisionLog) add(e DecisionEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+// Len reports the number of recorded rounds.
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries returns a sorted copy of the log (the WriteText order).
+func (l *DecisionLog) Entries() []DecisionEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]DecisionEntry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.ServingAP != b.ServingAP {
+			return a.ServingAP < b.ServingAP
+		}
+		return a.Target < b.Target
+	})
+	return out
+}
+
+// WriteText renders the sorted log, one round per line. Timestamps are
+// printed in microseconds (the wire quantization grid), so equal logs
+// render byte-identically.
+func (l *DecisionLog) WriteText(w io.Writer) error {
+	for _, e := range l.Entries() {
+		_, err := fmt.Fprintf(w, "client=%s t_us=%d lat_us=%d serving=%s target=%s roamed=%t\n",
+			e.Client, QuantTime(e.Time), QuantTime(e.Latency), e.ServingAP, e.Target, e.Roamed)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -10,6 +10,11 @@
 // followed by an envelope {type, payload}. The Coordinator implements the
 // decision logic independent of the transport so it is directly testable;
 // Server and APConn wire it to real sockets.
+//
+// Protocol v2 adds report batching with delta/snapshot encoding
+// (TypeReportBatch, BatchEncoder/DeltaDecoder) and shards the server's
+// sessions across goroutine groups with bounded backpressure; see
+// DESIGN.md §11 for the versioning and backpressure contract.
 package ctlproto
 
 import (
@@ -17,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"mobiwlan/internal/core"
 )
@@ -34,11 +40,24 @@ const (
 	// TypeRoamDirective tells the serving AP to disassociate the client,
 	// and names the candidate APs allowed to answer its probe requests.
 	TypeRoamDirective = "roam-directive"
+	// TypeReportBatch carries several delta/snapshot-encoded mobility
+	// reports in one frame (protocol v2; see ReportBatch).
+	TypeReportBatch = "report-batch"
 )
+
+// ProtoVersion is the protocol generation this package speaks. The wire
+// format is additive-only: a v2 sender may batch reports with
+// TypeReportBatch, and v2 requests carry extra timestamp fields, but
+// every v1 message remains valid and is handled unchanged, so v1 APs
+// interoperate with a v2 controller and vice versa.
+const ProtoVersion = 2
 
 // Hello registers an AP.
 type Hello struct {
 	APID string `json:"ap_id"`
+	// Version is the sender's protocol generation. 0 (absent) and 1 both
+	// mean v1: per-report messages only. 2 adds report batching.
+	Version int `json:"version,omitempty"`
 }
 
 // MobilityReport is an AP's periodic classifier output for one client.
@@ -54,6 +73,11 @@ type MobilityReport struct {
 // MeasureRequest asks an AP to measure a client.
 type MeasureRequest struct {
 	Client string `json:"client"`
+	// Time is the sim-time stamp of the report that opened the
+	// measurement round (v2, additive). Responders echo it into
+	// MeasureReport.Time so round-trip accounting stays in sim time and
+	// is reproducible across runs; v1 responders leave it zero.
+	Time float64 `json:"time,omitempty"`
 }
 
 // MeasureReport is an AP's answer to a MeasureRequest.
@@ -73,7 +97,78 @@ type RoamDirective struct {
 	ServingAP string `json:"serving_ap"`
 	// Candidates are the APs allowed to answer the client's probes.
 	Candidates []string `json:"candidates"`
+	// Time is the sim-time stamp of the decision (v2, additive): the
+	// Time of the measure report that completed the round.
+	Time float64 `json:"time,omitempty"`
 }
+
+// ReportBatch carries several mobility reports in one frame (v2). Each
+// entry is either a snapshot (absolute values) or a delta against the
+// sender's previous report for the same client; the receiver
+// reconstructs full MobilityReports with a DeltaDecoder. Entries for
+// distinct clients commute, entries for the same client apply in order.
+type ReportBatch struct {
+	APID string `json:"ap_id"`
+	// Seq is the sender's batch sequence number (diagnostic).
+	Seq     uint64       `json:"seq"`
+	Entries []BatchEntry `json:"entries"`
+}
+
+// BatchEntry is one encoded report. Times and RSSI travel as fixed-point
+// integers — microseconds of sim time and centi-dB — so deltas are exact
+// integer arithmetic and a delta/snapshot stream reconstructs the same
+// values as the equivalent full-report stream, bit for bit, for any
+// report on the quantization grid.
+type BatchEntry struct {
+	Client string `json:"client"`
+	// Snap marks a snapshot: T, R and S carry absolute values and reset
+	// the client's delta history. On a delta, T and R are offsets
+	// against the previous reconstructed report.
+	Snap bool `json:"snap,omitempty"`
+	// S is the classifier state biased by one (core.State+1). On a
+	// delta, 0 means "state unchanged"; a snapshot must carry S >= 1.
+	S int `json:"s,omitempty"`
+	// T is sim time in integer microseconds: absolute on a snapshot,
+	// an offset on a delta.
+	T int64 `json:"t"`
+	// R is RSSI in integer centi-dB (RSSIdBm*100): absolute on a
+	// snapshot, an offset on a delta.
+	R int64 `json:"r"`
+}
+
+// Wire-format bounds. The decoder validates before it allocates or
+// stores, following the csi.NewMatrix dimension-validation discipline:
+// adversarial lengths are rejected with an error, never sized into a
+// buffer or a map first.
+const (
+	// MaxBatchEntries bounds the entries in one ReportBatch.
+	MaxBatchEntries = 512
+	// MaxIDLen bounds AP and client identifier lengths.
+	MaxIDLen = 128
+	// MaxStateCode bounds BatchEntry.S (core.State values are small
+	// consecutive integers; leave headroom for additive growth).
+	MaxStateCode = 16
+)
+
+// timeScale and rssiScale are the fixed-point grids of the batch
+// encoding: 1 µs of sim time and 0.01 dB.
+const (
+	timeScale = 1e6
+	rssiScale = 100
+)
+
+// QuantTime converts sim-time seconds to the batch encoding's integer
+// microsecond grid.
+func QuantTime(t float64) int64 { return int64(math.Round(t * timeScale)) }
+
+// UnquantTime converts integer microseconds back to seconds.
+func UnquantTime(us int64) float64 { return float64(us) / timeScale }
+
+// QuantRSSI converts dBm to the batch encoding's integer centi-dB grid.
+func QuantRSSI(dbm float64) int64 { return int64(math.Round(dbm * rssiScale)) }
+
+// UnquantRSSI converts integer centi-dB back to dBm.
+func UnquantRSSI(cdb int64) float64 { return float64(cdb) / rssiScale }
 
 // Envelope is the wire frame.
 type Envelope struct {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -225,8 +226,9 @@ func TestServerRejectsNoHello(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+	var mu sync.Mutex
 	var logs []string
-	srv.Logf = func(f string, a ...any) { logs = append(logs, f) }
+	srv.Logf = func(f string, a ...any) { mu.Lock(); logs = append(logs, f); mu.Unlock() }
 
 	// Raw dial, send a non-hello first message.
 	conn, err := Dial(srv.Addr(), "") // empty APID is rejected server-side
@@ -238,7 +240,9 @@ func TestServerRejectsNoHello(t *testing.T) {
 	if got := srv.APs(); len(got) != 0 {
 		t.Fatalf("empty-ID AP registered: %v", got)
 	}
+	mu.Lock()
 	_ = strings.Join(logs, "") // logs are advisory
+	mu.Unlock()
 }
 
 func TestServerCloseUnblocksClients(t *testing.T) {

@@ -61,6 +61,111 @@ func FuzzReadMsg(f *testing.F) {
 	})
 }
 
+// FuzzBatchRoundTrip drives the v2 delta encoder/decoder pair through
+// the real wire framing: any report stream derived from the fuzzed
+// parameters must encode, frame, read back, validate, and replay to
+// exactly the original reports.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(16), uint8(64), uint16(100))
+	f.Add(uint64(2), uint8(1), uint8(1), uint16(10))
+	f.Add(uint64(3), uint8(0), uint8(255), uint16(600))
+
+	f.Fuzz(func(t *testing.T, seed uint64, snapEvery, batchSize uint8, n uint16) {
+		reports := genReports(seed, int(n%1024), 1+int(seed%9))
+		enc := BatchEncoder{APID: "ap1", SnapshotEvery: int(snapEvery)}
+		var dec DeltaDecoder
+		size := int(batchSize)
+		if size < 1 {
+			size = 1
+		}
+		got := 0
+		drain := func() {
+			var b ReportBatch
+			if !enc.Flush(&b) {
+				return
+			}
+			// Through the real framing layer, as the server sees it.
+			data := frame(t, TypeReportBatch, b)
+			env, err := ReadMsg(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("read framed batch: %v", err)
+			}
+			rb, err := DecodePayload[ReportBatch](env)
+			if err != nil {
+				t.Fatalf("decode framed batch: %v", err)
+			}
+			if err := CheckBatch(&rb); err != nil {
+				t.Fatalf("encoder emitted invalid batch: %v", err)
+			}
+			for i := range rb.Entries {
+				var rep MobilityReport
+				if err := dec.Apply(rb.APID, &rb.Entries[i], &rep); err != nil {
+					t.Fatalf("apply: %v", err)
+				}
+				if rep != reports[got] {
+					t.Fatalf("report %d: %+v != %+v", got, rep, reports[got])
+				}
+				got++
+			}
+		}
+		for i := range reports {
+			if err := enc.Add(&reports[i]); err != nil {
+				t.Fatalf("add: %v", err)
+			}
+			if enc.Len() >= size {
+				drain()
+			}
+		}
+		drain()
+		if got != len(reports) {
+			t.Fatalf("replayed %d of %d reports", got, len(reports))
+		}
+	})
+}
+
+// FuzzDeltaDecode feeds adversarial report-batch frames straight to the
+// decode path: the decoder must never panic and must never grow its
+// client table past MaxClients, however hostile the lengths and codes.
+func FuzzDeltaDecode(f *testing.F) {
+	f.Add(frame(f, TypeReportBatch, ReportBatch{APID: "ap1", Entries: []BatchEntry{
+		{Client: "c1", Snap: true, S: 5, T: 1_500_000, R: -6000},
+		{Client: "c1", T: 1_000_000, R: 25},
+	}}))
+	f.Add(frame(f, TypeReportBatch, ReportBatch{APID: "ap1", Entries: []BatchEntry{
+		{Client: "c1", T: 1}, // delta before any snapshot
+	}}))
+	f.Add(frame(f, TypeReportBatch, ReportBatch{APID: "ap1", Entries: []BatchEntry{
+		{Client: "", Snap: true, S: 1},
+		{Client: "c2", Snap: true, S: MaxStateCode + 3},
+		{Client: "c3", Snap: true, S: 1, T: int64(1) << 62, R: -(int64(1) << 62)},
+	}}))
+	f.Add(frame(f, TypeReportBatch, ReportBatch{APID: "ap1"}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadMsg(bytes.NewReader(data))
+		if err != nil || env.Type != TypeReportBatch {
+			return
+		}
+		b, err := DecodePayload[ReportBatch](env)
+		if err != nil {
+			return
+		}
+		// Mirror the server's handle path: frame-level validation first,
+		// then per-entry apply with errors skipped.
+		dec := DeltaDecoder{MaxClients: 8}
+		if err := CheckBatch(&b); err != nil {
+			return
+		}
+		var rep MobilityReport
+		for i := range b.Entries {
+			_ = dec.Apply(b.APID, &b.Entries[i], &rep)
+			if dec.Clients() > 8 {
+				t.Fatalf("client table grew to %d past MaxClients=8", dec.Clients())
+			}
+		}
+	})
+}
+
 // FuzzReadMsgRoundTrip drives the framing layer itself: any message
 // written by WriteMsg must read back as the same type and payload,
 // consuming the buffer exactly.

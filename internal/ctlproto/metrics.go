@@ -27,12 +27,26 @@ type Metrics struct {
 	decisionLatency *obs.Histogram
 	// fanout is the number of APs asked to measure per round.
 	fanout *obs.Histogram
-	tr     *obs.SyncTracer
+	// Shard-pipeline conservation counters: every routed report counts
+	// once in shardReceived and once in shardProcessed or shardDropped.
+	shardReceived  *obs.Counter
+	shardProcessed *obs.Counter
+	shardDropped   *obs.Counter
+	// outDropped counts outbound messages shed to a full session queue;
+	// disconnects counts sessions closed by PolicyDisconnect.
+	outDropped  *obs.Counter
+	disconnects *obs.Counter
+	// batchEntries samples the size of accepted v2 report batches;
+	// batchRejected counts rejected batches and entries.
+	batchEntries  *obs.Histogram
+	batchRejected *obs.Counter
+	tr            *obs.SyncTracer
 }
 
 // messageTypes lists every protocol message, for counter pre-creation.
 var messageTypes = []string{
 	TypeHello, TypeMobilityReport, TypeMeasureRequest, TypeMeasureReport, TypeRoamDirective,
+	TypeReportBatch,
 }
 
 // NewMetrics creates the controller metric handles on reg, tracing
@@ -51,6 +65,13 @@ func NewMetrics(reg *obs.Registry, tr *obs.SyncTracer) *Metrics {
 		noDirective:     reg.Counter("ctlproto.roam.no-directive"),
 		decisionLatency: reg.Histogram("ctlproto.decision-latency_s", 0.01, 0.05, 0.1, 0.5, 1, 2, 5),
 		fanout:          reg.Histogram("ctlproto.measure.fanout", 1, 2, 4, 8, 16, 32, 64),
+		shardReceived:   reg.Counter("ctlproto.shard.received"),
+		shardProcessed:  reg.Counter("ctlproto.shard.processed"),
+		shardDropped:    reg.Counter("ctlproto.shard.dropped"),
+		outDropped:      reg.Counter("ctlproto.out.dropped"),
+		disconnects:     reg.Counter("ctlproto.disconnects"),
+		batchEntries:    reg.Histogram("ctlproto.batch.entries", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		batchRejected:   reg.Counter("ctlproto.batch.rejected"),
 		tr:              tr,
 	}
 	for _, mt := range messageTypes {
@@ -99,6 +120,55 @@ func (m *Metrics) observeMeasureStart(t float64, fanout int) {
 	}
 	m.fanout.Observe(float64(fanout))
 	m.tr.Emit(t, "ctlproto", "measure-start", float64(fanout), 0, "")
+}
+
+func (m *Metrics) observeShardReceived() {
+	if m == nil {
+		return
+	}
+	m.shardReceived.Inc()
+}
+
+func (m *Metrics) observeShardProcessed() {
+	if m == nil {
+		return
+	}
+	m.shardProcessed.Inc()
+}
+
+func (m *Metrics) observeShardDropped() {
+	if m == nil {
+		return
+	}
+	m.shardDropped.Inc()
+}
+
+func (m *Metrics) observeOutDropped() {
+	if m == nil {
+		return
+	}
+	m.outDropped.Inc()
+}
+
+func (m *Metrics) observeDisconnect() {
+	if m == nil {
+		return
+	}
+	m.disconnects.Inc()
+}
+
+func (m *Metrics) observeBatch(entries int) {
+	if m == nil {
+		return
+	}
+	m.batchEntries.Observe(float64(entries))
+}
+
+func (m *Metrics) observeBatchReject() {
+	if m == nil {
+		return
+	}
+	m.batchRejected.Inc()
 }
 
 func (m *Metrics) observeDecision(t, latency float64, roamed bool) {

@@ -24,7 +24,7 @@ func dumpTelemetry(t *testing.T, scope *obs.Scope) (text, jsonDump, trace string
 	return tb.String(), jb.String(), rb.String()
 }
 
-// TestTelemetryJobsDeterminism is the golden regression for DESIGN.md §11:
+// TestTelemetryJobsDeterminism is the golden regression for DESIGN.md §12:
 // with telemetry attached, an instrumented experiment must produce
 // byte-identical metric dumps (text and JSON), byte-identical merged
 // trial traces, and byte-identical result text for jobs=1 vs jobs=4.

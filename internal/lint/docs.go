@@ -4,7 +4,7 @@ import "strings"
 
 // pkgDocCheck requires every package to carry a package doc comment on
 // at least one of its files. The repo's documentation contract
-// (DESIGN.md §11, docs/OPERATIONS.md) leans on package synopses: godoc
+// (DESIGN.md §12, docs/OPERATIONS.md) leans on package synopses: godoc
 // renders them as the package index, and an undocumented package is
 // invisible there. The check reports the package clause of the first
 // file (alphabetical order) so the finding has a stable position.

@@ -64,6 +64,7 @@ var hotAllowFuncs = map[string]bool{
 	"sort.Search":             true,
 	"sort.SearchFloat64s":     true,
 	"sort.SearchInts":         true,
+	"sort.SearchStrings":      true,
 	"(*sync.Mutex).Lock":      true,
 	"(*sync.Mutex).Unlock":    true,
 	"(*sync.RWMutex).Lock":    true,

@@ -17,7 +17,7 @@
 // # Determinism
 //
 // Telemetry must not break the repo's byte-identical-output contract
-// (DESIGN.md §6, §11):
+// (DESIGN.md §6, §12):
 //
 //   - Counter and histogram updates are commutative integer additions,
 //     so totals are identical for any worker count or interleaving.

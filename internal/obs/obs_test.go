@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"testing"
@@ -327,5 +328,60 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
 		t.Fatalf("pprof index unexpected: %.80q", body)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+	r := NewRegistry()
+	h := r.Histogram("test.q_s", 1, 2, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 10 samples in (1,2]: the bucket interpolates linearly from 1 to 2.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("p50 = %g, want 1.5 (midway through the (1,2] bucket)", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("p100 = %g, want the bucket upper bound 2", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %g, want the bucket lower bound 1", got)
+	}
+	// First bucket interpolates from zero.
+	h2 := r.Histogram("test.q2_s", 1, 2)
+	h2.Observe(0.5)
+	h2.Observe(0.5)
+	if got := h2.Quantile(0.5); got != 0.5 {
+		t.Fatalf("first-bucket p50 = %g, want 0.5", got)
+	}
+	// Quantiles landing in the overflow bucket clamp to the last
+	// finite bound; out-of-range q clamps to [0, 1].
+	h3 := r.Histogram("test.q3_s", 1, 2)
+	h3.Observe(100)
+	if got := h3.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %g, want last bound 2", got)
+	}
+	if h3.Quantile(7) != 2 || h3.Quantile(-7) != 2 {
+		t.Fatal("q outside [0,1] did not clamp")
+	}
+	// Split across buckets: 1 sample ≤1, 3 samples ≤2 → p25 is the
+	// first bucket's top, p75 lands 2/3 into the second bucket.
+	h4 := r.Histogram("test.q4_s", 1, 2)
+	h4.Observe(0.5)
+	h4.Observe(1.5)
+	h4.Observe(1.5)
+	h4.Observe(1.5)
+	if got := h4.Quantile(0.25); got != 1 {
+		t.Fatalf("p25 = %g, want 1", got)
+	}
+	if got := h4.Quantile(0.75); math.Abs(got-(1+2.0/3)) > 1e-12 {
+		t.Fatalf("p75 = %g, want %g", got, 1+2.0/3)
 	}
 }

@@ -133,6 +133,56 @@ func (h *Histogram) Bounds() []float64 {
 	return h.bounds
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts by linear interpolation within the target bucket,
+// Prometheus-style: the first bucket interpolates from zero, and a
+// quantile landing in the overflow bucket reports the last finite
+// bound (the histogram cannot resolve beyond it). It returns 0 when
+// the histogram is nil or empty. The estimate is exact at bucket
+// boundaries and deterministic for equal bucket contents; it is a
+// read-side aggregation, so concurrent Observes may shift it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, ub := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (ub-lo)*frac
+		}
+		cum += n
+	}
+	// Overflow bucket: unbounded above, report the last finite bound.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // BucketCount returns the number of samples in bucket i (counting the
 // overflow bucket as i == len(Bounds())).
 func (h *Histogram) BucketCount(i int) uint64 {

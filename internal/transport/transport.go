@@ -87,6 +87,54 @@ func (c *CBR) OnDelivery(_ float64, sent, delivered int, _ bool) {
 // Backlog reports the queued packet count (for tests).
 func (c *CBR) Backlog() float64 { return c.backlog }
 
+// Telemetry is a deterministic report-timing source for control-plane
+// load: it spaces one client's PHY reports in bursts, the arrival shape
+// network-side mobility classification has to cope with (telemetry
+// reaches the controller clustered, not evenly spaced). Report i of a
+// stream lands at
+//
+//	phase*Period + (i/Burst)*Period + (i%Burst)*BurstGap
+//
+// so each period carries one burst of Burst reports, BurstGap apart,
+// and streams are decorrelated by their phase. A pure function of its
+// inputs — no wall clock, no RNG — so any two walks of the same stream
+// agree exactly, which the load generator's byte-identical-schedule
+// contract builds on.
+type Telemetry struct {
+	// Period is the burst repeat interval in seconds (default 1).
+	Period float64
+	// Burst is the number of reports per burst (default 1: periodic).
+	Burst int
+	// BurstGap is the in-burst spacing in seconds; 0 or a gap that
+	// would smear the burst past half the period collapses to
+	// Period/(2*Burst), keeping bursts distinct from their successors.
+	BurstGap float64
+}
+
+// ReportTime returns the time of report i (i ≥ 0) of the stream with
+// the given phase in [0,1) periods. Nondecreasing in i.
+func (tl Telemetry) ReportTime(phase float64, i int) float64 {
+	period := tl.Period
+	if period <= 0 {
+		period = 1
+	}
+	burst := tl.Burst
+	if burst <= 0 {
+		burst = 1
+	}
+	gap := tl.BurstGap
+	if gap <= 0 || gap*float64(burst) > period/2 {
+		gap = period / float64(2*burst)
+	}
+	if phase < 0 {
+		phase = 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	return phase*period + float64(i/burst)*period + float64(i%burst)*gap
+}
+
 // TCPReno is the simplified download TCP model.
 type TCPReno struct {
 	// RTT is the end-to-end round-trip time in seconds (server to client

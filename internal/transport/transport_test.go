@@ -125,3 +125,67 @@ func TestTCPPartialLossTolerated(t *testing.T) {
 		t.Fatalf("partial loss halved the window: %v", tcp.Cwnd())
 	}
 }
+
+func TestTelemetryBurstShape(t *testing.T) {
+	tl := Telemetry{Period: 1, Burst: 4, BurstGap: 0.05}
+	// Burst b, slot j lands at phase + b + j*gap.
+	for i := 0; i < 16; i++ {
+		want := 0.25 + float64(i/4) + float64(i%4)*0.05
+		if got := tl.ReportTime(0.25, i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("report %d at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTelemetryMonotone(t *testing.T) {
+	for _, tl := range []Telemetry{
+		{},
+		{Period: 2},
+		{Period: 1, Burst: 5},
+		{Period: 1, Burst: 3, BurstGap: 0.01},
+		{Period: 1, Burst: 3, BurstGap: 10}, // smearing gap collapses to default
+		{Period: -1, Burst: -2, BurstGap: -3},
+	} {
+		prev := math.Inf(-1)
+		for i := 0; i < 50; i++ {
+			got := tl.ReportTime(0.9, i)
+			if got < prev {
+				t.Fatalf("%+v: report %d at %v after %v", tl, i, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestTelemetryDefaults(t *testing.T) {
+	// Zero value behaves as 1 report per 1 s period.
+	var tl Telemetry
+	for i := 0; i < 5; i++ {
+		if got := tl.ReportTime(0, i); got != float64(i) {
+			t.Fatalf("zero-value report %d at %v, want %d", i, got, i)
+		}
+	}
+	// Negative phase and index clamp to zero.
+	if tl.ReportTime(-5, -3) != 0 {
+		t.Fatal("negative phase/index did not clamp")
+	}
+	// A burst must stay within the first half of its period so bursts
+	// remain distinct: 4 reports with the default gap span 3/8 period.
+	b := Telemetry{Period: 1, Burst: 4}
+	if last := b.ReportTime(0, 3); last >= 0.5 {
+		t.Fatalf("burst smeared to %v, want < half period", last)
+	}
+	// Streams with different phases never collide within a period.
+	if b.ReportTime(0.5, 0) == b.ReportTime(0, 0) {
+		t.Fatal("phase has no effect")
+	}
+}
+
+func TestTelemetryPure(t *testing.T) {
+	tl := Telemetry{Period: 0.5, Burst: 3, BurstGap: 0.02}
+	for i := 0; i < 20; i++ {
+		if tl.ReportTime(0.1, i) != tl.ReportTime(0.1, i) {
+			t.Fatalf("ReportTime(%d) not reproducible", i)
+		}
+	}
+}

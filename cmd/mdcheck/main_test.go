@@ -120,6 +120,7 @@ func TestRepoDocsAreClean(t *testing.T) {
 		"../../EXPERIMENTS.md",
 		"../../ROADMAP.md",
 		"../../docs/OPERATIONS.md",
+		"../../docs/SCENARIOS.md",
 	}
 	for _, d := range docs {
 		if _, err := os.Stat(d); err != nil {

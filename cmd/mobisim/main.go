@@ -34,6 +34,7 @@ import (
 	"mobiwlan/internal/mobility"
 	"mobiwlan/internal/ratecontrol"
 	"mobiwlan/internal/roaming"
+	"mobiwlan/internal/scenario"
 	"mobiwlan/internal/sched"
 	"mobiwlan/internal/sim"
 	"mobiwlan/internal/stats"
@@ -87,6 +88,7 @@ func usage() {
 func cmdFleet(args []string) {
 	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
 	clients := fs.Int("clients", 16, "number of independent clients")
+	scenFile := fs.String("scenario", "", "declarative scenario file (JSON, see docs/SCENARIOS.md); overrides -clients, -duration, and -motion-aware")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = one per CPU)")
 	duration := fs.Float64("duration", 10, "seconds per client")
 	seed := fs.Uint64("seed", 1, "RNG seed")
@@ -113,15 +115,37 @@ func cmdFleet(args []string) {
 		MaxAPs:      *maxAPs,
 	}
 	defer ofl.Finish()
-	res := sim.RunWLANFleet(opt, *seed)
-	if !*quiet {
-		for _, c := range res.PerClient {
-			fmt.Printf("client %3d  %-13s %6.2f Mbps  %d handoffs  %d scans\n",
-				c.Client, c.Mode, c.Mbps, c.Handoffs, c.Scans)
+	var res sim.FleetResult
+	if *scenFile != "" {
+		spec, err := scenario.ParseFile(*scenFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
+		res, err = sim.RunScenarioFleet(spec, opt, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !*quiet {
+			for i, c := range res.PerClient {
+				fmt.Printf("client %3d  %-14s %-13s %6.2f Mbps  %d handoffs  %d scans\n",
+					c.Client, res.Names[i], c.Mode, c.Mbps, c.Handoffs, c.Scans)
+			}
+		}
+		fmt.Printf("fleet: scenario %s, %d clients x %.0f s, total %.1f Mbps, mean %.2f Mbps, %d handoffs, %d scans\n",
+			spec.Name, len(res.PerClient), spec.DurationS, res.TotalMbps, res.MeanMbps, res.Handoffs, res.Scans)
+	} else {
+		res = sim.RunWLANFleet(opt, *seed)
+		if !*quiet {
+			for _, c := range res.PerClient {
+				fmt.Printf("client %3d  %-13s %6.2f Mbps  %d handoffs  %d scans\n",
+					c.Client, c.Mode, c.Mbps, c.Handoffs, c.Scans)
+			}
+		}
+		fmt.Printf("fleet: %d clients x %.0f s, total %.1f Mbps, mean %.2f Mbps, %d handoffs, %d scans\n",
+			*clients, *duration, res.TotalMbps, res.MeanMbps, res.Handoffs, res.Scans)
 	}
-	fmt.Printf("fleet: %d clients x %.0f s, total %.1f Mbps, mean %.2f Mbps, %d handoffs, %d scans\n",
-		*clients, *duration, res.TotalMbps, res.MeanMbps, res.Handoffs, res.Scans)
 	if cs := res.Contend; cs != nil {
 		if !*quiet {
 			for b, s := range cs.BSS {

@@ -48,6 +48,9 @@ var goldenCases = []struct {
 	// medium's conservation laws byte-for-byte.
 	{id: "cont1ap", scale: 0.2},
 	{id: "obss2ap", scale: 0.2},
+	// Mode x speed x CSI-SNR robustness sweep: pins the confusion structure
+	// of the paper's thresholds away from the calibrated operating point.
+	{id: "robust", scale: 0.12, slow: true},
 }
 
 // goldenSeed is fixed and disjoint from the calibration seeds used inside

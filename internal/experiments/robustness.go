@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobiwlan/internal/core"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/parallel"
+	"mobiwlan/internal/stats"
+)
+
+func init() {
+	register("robust", Robustness)
+}
+
+// trialsRobust keys the robustness experiment's tracers:
+// + tier*100_000 + variant*10_000 + trial. It sits above the contention
+// base (7M) so the experiment can share an obs.Scope with everything else.
+const trialsRobust = 8_000_000
+
+// robustVariant is one client-motion workload of the robustness sweep.
+type robustVariant struct {
+	name  string
+	mode  mobility.Mode
+	speed float64 // macro walk speed, m/s (0 = scene default)
+}
+
+// robustVariants sweeps the four ground-truth modes, with macro split
+// across the three named speed profiles. Macro clients pace a ping-pong
+// random walk at the profile speed, so they keep moving for the whole
+// trial — the honest version of "does a cyclist still look macro?".
+var robustVariants = []robustVariant{
+	{name: "static", mode: mobility.Static},
+	{name: "env", mode: mobility.Environmental},
+	{name: "micro", mode: mobility.Micro},
+	{name: "macro-walk", mode: mobility.Macro, speed: mobility.SpeedPedestrian},
+	{name: "macro-bike", mode: mobility.Macro, speed: mobility.SpeedBike},
+	{name: "macro-vehicle", mode: mobility.Macro, speed: mobility.SpeedVehicle},
+}
+
+// robustTiers are the CSI estimation SNR operating points. 31 dB is the
+// calibrated default (clean preamble estimates); 22 dB models a weak link
+// near the cell edge; 14 dB is the breakdown regime. The noise is relative
+// to the channel RMS (see channel.Config.CSINoiseSNRdB), so the sweep
+// degrades the CSI estimate itself, not the link budget.
+var robustTiers = []float64{31, 22, 14}
+
+// Robustness measures classification accuracy across mode x speed x CSI
+// SNR: the confusion structure the paper's fixed ThrSta/ThrEnv thresholds
+// produce once the workload leaves the calibrated lab conditions.
+func Robustness(cfg Config) Result {
+	runs := cfg.scaleInt(12, 3)
+	dur := cfg.scaleDur(16, 12)
+	warmup := 6.0
+
+	rows := [][2]string{
+		{"truth \\ snr", "    31 dB    22 dB    14 dB"},
+	}
+	var notes []string
+	// accuracy[tier][variant] = percent of post-warmup decisions that hit
+	// the true mode.
+	accuracy := make([][]float64, len(robustTiers))
+	for ti, snr := range robustTiers {
+		accuracy[ti] = make([]float64, len(robustVariants))
+		for vi, v := range robustVariants {
+			pc := core.DefaultPipelineConfig()
+			pc.Channel.CSINoiseSNRdB = snr
+			pc.Obs = cfg.Obs
+			rng := cfg.rng(uint64(ti)*100 + uint64(vi) + 600)
+			var cm core.ConfusionMatrix
+			for _, decisions := range parallel.RunTrials(runs, cfg.jobs(), func(r int) []core.Decision {
+				scfg := mobility.DefaultSceneConfig()
+				scfg.Duration = dur
+				if v.speed > 0 {
+					scfg.WalkSpeed = v.speed
+				}
+				scen := mobility.NewScenario(v.mode, scfg, rng.Split(uint64(r)+1))
+				tpc := pc
+				tpc.Trial = trialsRobust + ti*100_000 + vi*10_000 + r
+				return core.RunScenario(scen, tpc, cfg.Seed+uint64(ti)*10_000+uint64(vi)*1000+uint64(r))
+			}) {
+				cm.Add(decisions, warmup)
+			}
+			row := cm.Row(v.mode)
+			accuracy[ti][vi] = row[int(v.mode)]
+			// Name the dominant confusion for off-diagonal mass.
+			worst, worstPct := -1, 0.0
+			for m := range row {
+				if m != int(v.mode) && row[m] > worstPct {
+					worst, worstPct = m, row[m]
+				}
+			}
+			if worstPct >= 5 {
+				notes = append(notes, fmt.Sprintf(
+					"%.0f dB %s: %.1f%% correct, %.1f%% read as %s",
+					snr, v.name, accuracy[ti][vi], worstPct, mobility.Mode(worst)))
+			}
+		}
+	}
+	for vi, v := range robustVariants {
+		rows = append(rows, [2]string{v.name, fmt.Sprintf("%7.1f%% %7.1f%% %7.1f%%",
+			accuracy[0][vi], accuracy[1][vi], accuracy[2][vi])})
+	}
+
+	title := "Robustness: classification accuracy across mode x speed x CSI SNR (percent correct)"
+	res := Result{
+		ID:    "robust",
+		Title: title,
+		Text:  renderKV(title, rows),
+	}
+	// Series form for plotting: one accuracy-vs-SNR curve per variant.
+	for vi, v := range robustVariants {
+		pts := make([]stats.Point, len(robustTiers))
+		for ti, snr := range robustTiers {
+			pts[ti] = stats.Point{X: snr, Y: accuracy[ti][vi]}
+		}
+		res.Series = append(res.Series, stats.Series{Name: v.name, Points: pts})
+	}
+	res.Notes = notes
+	return res
+}

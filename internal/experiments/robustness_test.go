@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"mobiwlan/internal/mobility"
+)
+
+// TestRobustnessShape asserts the qualitative structure of the robustness
+// sweep at smoke scale: the grid is fully populated, the calibrated
+// operating point classifies the paper's lab modes well, and accuracy
+// never improves when the CSI estimate degrades to the breakdown regime.
+func TestRobustnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness sweep is slow; covered by the full run")
+	}
+	res := Robustness(Config{Seed: 2014, Scale: 0.1})
+	if res.ID != "robust" {
+		t.Fatalf("id %q", res.ID)
+	}
+	if len(res.Series) != len(robustVariants) {
+		t.Fatalf("%d series, want %d", len(res.Series), len(robustVariants))
+	}
+	byName := map[string][]float64{}
+	for _, s := range res.Series {
+		if len(s.Points) != len(robustTiers) {
+			t.Fatalf("series %s has %d points, want %d", s.Name, len(s.Points), len(robustTiers))
+		}
+		var acc []float64
+		for i, p := range s.Points {
+			if p.X != robustTiers[i] {
+				t.Fatalf("series %s point %d at x=%g, want %g", s.Name, i, p.X, robustTiers[i])
+			}
+			if p.Y < 0 || p.Y > 100 {
+				t.Fatalf("series %s accuracy %g out of [0,100]", s.Name, p.Y)
+			}
+			acc = append(acc, p.Y)
+		}
+		byName[s.Name] = acc
+	}
+	// At the calibrated 31 dB point the paper's modes classify reasonably
+	// (smoke scale runs few trials, so the bounds are loose).
+	for _, name := range []string{"static", "micro", "macro-walk"} {
+		if byName[name][0] < 55 {
+			t.Errorf("%s at 31 dB only %.1f%% correct", name, byName[name][0])
+		}
+	}
+	// The headline finding: CSI noise drives similarity below ThrSta, so
+	// static clients stop looking static well before the link dies.
+	if byName["static"][2] >= byName["static"][0] {
+		t.Errorf("static accuracy did not degrade with CSI SNR: %v", byName["static"])
+	}
+	// Degrading the CSI estimate to 14 dB must not help on average.
+	mean := func(tier int) float64 {
+		var sum float64
+		for _, v := range robustVariants {
+			sum += byName[v.name][tier]
+		}
+		return sum / float64(len(robustVariants))
+	}
+	if m31, m14 := mean(0), mean(2); m14 > m31+5 {
+		t.Errorf("mean accuracy rose from %.1f%% at 31 dB to %.1f%% at 14 dB", m31, m14)
+	}
+	_ = mobility.AllModes // keep the import honest if assertions change
+}

@@ -1,0 +1,217 @@
+package mobility
+
+import (
+	"math"
+	"sort"
+
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/stats"
+)
+
+// Named speed profiles (m/s) for the scenario DSL and the robustness
+// experiments: a brisk pedestrian, a casual cyclist, and a slow urban
+// vehicle (a campus shuttle, not a highway car — the floor plans here are
+// buildings and platforms, not roads).
+const (
+	// SpeedPedestrian is the paper's walking speed.
+	SpeedPedestrian = 1.4
+	// SpeedBike is a casual cycling speed.
+	SpeedBike = 4.2
+	// SpeedVehicle is a slow urban-vehicle speed.
+	SpeedVehicle = 11.0
+)
+
+// ProfileSpeed resolves a named speed profile to meters per second. The
+// accepted names are the scenario-file vocabulary: "pedestrian", "bike",
+// "vehicle".
+func ProfileSpeed(name string) (float64, bool) {
+	switch name {
+	case "pedestrian":
+		return SpeedPedestrian, true
+	case "bike":
+		return SpeedBike, true
+	case "vehicle":
+		return SpeedVehicle, true
+	default:
+		return 0, false
+	}
+}
+
+// TimedPath is a trajectory through timestamped waypoints: the position
+// interpolates linearly between consecutive (time, point) knots, holds the
+// first point before the first knot and the last point after the last one.
+// Repeating a point with a later time encodes a pause, which makes
+// TimedPath the natural output of pause-bearing models such as random
+// waypoint, and of staged crowd scenarios (everyone seated until the
+// break, then moving).
+type TimedPath struct {
+	// Times holds the knot times in non-decreasing order, one per point.
+	Times []float64
+	// Points holds the knot positions.
+	Points []geom.Point
+}
+
+// At implements Trajectory.
+func (p TimedPath) At(t float64) geom.Point {
+	n := len(p.Times)
+	if n == 0 || len(p.Points) != n {
+		return geom.Point{}
+	}
+	if t <= p.Times[0] {
+		return p.Points[0]
+	}
+	if t >= p.Times[n-1] {
+		return p.Points[n-1]
+	}
+	// First knot with time > t; its predecessor starts the active segment.
+	i := sort.Search(n, func(k int) bool { return p.Times[k] > t })
+	a, b := i-1, i
+	dt := p.Times[b] - p.Times[a]
+	if dt <= 0 {
+		return p.Points[b]
+	}
+	return p.Points[a].Lerp(p.Points[b], (t-p.Times[a])/dt)
+}
+
+// End returns the time of the last knot (0 for an empty path).
+func (p TimedPath) End() float64 {
+	if len(p.Times) == 0 {
+		return 0
+	}
+	return p.Times[len(p.Times)-1]
+}
+
+// NewRandomWaypoint builds the classic random-waypoint mobility model as a
+// TimedPath covering at least duration seconds: from start, pick a uniform
+// destination inside bounds (inset 1 m from the walls), travel to it at a
+// speed drawn uniformly from [speedMin, speedMax], optionally pause for a
+// uniform [0, pauseMax] seconds, and repeat. All randomness comes from rng;
+// the same rng state reproduces the same path.
+func NewRandomWaypoint(bounds geom.Rect, start geom.Point, speedMin, speedMax, pauseMax, duration float64, rng *stats.RNG) TimedPath {
+	if speedMin <= 0 {
+		speedMin = SpeedPedestrian
+	}
+	if speedMax < speedMin {
+		speedMax = speedMin
+	}
+	inset := insetRect(bounds, 1)
+	p := TimedPath{Times: []float64{0}, Points: []geom.Point{start}}
+	t, cur := 0.0, start
+	const maxLegs = 10_000
+	for leg := 0; t < duration && leg < maxLegs; leg++ {
+		dest := geom.Pt(
+			rng.Range(inset.MinX, inset.MaxX),
+			rng.Range(inset.MinY, inset.MaxY),
+		)
+		speed := rng.Range(speedMin, speedMax)
+		if d := cur.Dist(dest); d > 0 {
+			t += d / speed
+			p.Times = append(p.Times, t)
+			p.Points = append(p.Points, dest)
+			cur = dest
+		}
+		if pauseMax > 0 {
+			t += rng.Range(0, pauseMax)
+			p.Times = append(p.Times, t)
+			p.Points = append(p.Points, cur)
+		}
+	}
+	return p
+}
+
+// insetRect shrinks r by m on every side, degenerating to the center line
+// when r is too small to inset.
+func insetRect(r geom.Rect, m float64) geom.Rect {
+	out := geom.Rect{MinX: r.MinX + m, MinY: r.MinY + m, MaxX: r.MaxX - m, MaxY: r.MaxY - m}
+	if out.MinX > out.MaxX {
+		c := (r.MinX + r.MaxX) / 2
+		out.MinX, out.MaxX = c, c
+	}
+	if out.MinY > out.MaxY {
+		c := (r.MinY + r.MaxY) / 2
+		out.MinY, out.MaxY = c, c
+	}
+	return out
+}
+
+// manhattanDirs is the street-direction alphabet, in turn order: rotating
+// the index by +1 is a left turn, +3 a right turn, +2 a U-turn.
+var manhattanDirs = [4]geom.Vector{{DX: 1}, {DY: 1}, {DX: -1}, {DY: -1}}
+
+// ManhattanPath walks a rectangular street grid of pitch blockM anchored
+// at the bounds origin: start snaps to the nearest intersection, and each
+// of the legs steps advances one block, going straight with probability
+// 1/2 and turning left or right with probability 1/4 each. A step that
+// would leave bounds rotates left until a legal street is found (a U-turn
+// is always legal on a grid at least one block wide). The result is a
+// waypoint polyline to drive with WaypointWalk at the desired speed.
+func ManhattanPath(start geom.Point, bounds geom.Rect, blockM float64, legs int, rng *stats.RNG) geom.Path {
+	if blockM <= 0 {
+		blockM = 10
+	}
+	cur := snapToGrid(start, bounds, blockM)
+	pts := []geom.Point{cur}
+	di := rng.Intn(4)
+	for i := 0; i < legs; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.5:
+			// straight on
+		case r < 0.75:
+			di = (di + 1) % 4 // left
+		default:
+			di = (di + 3) % 4 // right
+		}
+		stepped := false
+		for try := 0; try < 4; try++ {
+			next := cur.Add(manhattanDirs[di].Scale(blockM))
+			if bounds.Contains(next) {
+				cur = next
+				pts = append(pts, cur)
+				stepped = true
+				break
+			}
+			di = (di + 1) % 4
+		}
+		if !stepped {
+			break // bounds smaller than one block in every direction
+		}
+	}
+	return geom.NewPath(pts...)
+}
+
+// snapToGrid moves p to the nearest street intersection of the grid with
+// the given pitch anchored at the bounds origin, clamped inside bounds.
+func snapToGrid(p geom.Point, bounds geom.Rect, blockM float64) geom.Point {
+	snap := func(v, lo, hi float64) float64 {
+		g := lo + math.Round((v-lo)/blockM)*blockM
+		if g < lo {
+			g = lo
+		}
+		if g > hi {
+			g = lo + math.Floor((hi-lo)/blockM)*blockM
+		}
+		return g
+	}
+	return geom.Pt(
+		snap(p.X, bounds.MinX, bounds.MaxX),
+		snap(p.Y, bounds.MinY, bounds.MaxY),
+	)
+}
+
+// Delayed holds a trajectory at its start position until Start seconds,
+// then plays it with time re-based to the release instant — a client that
+// waits out the first part of a scenario (a conference attendee seated
+// until the break, a passenger standing until the train arrives).
+type Delayed struct {
+	Start float64
+	Traj  Trajectory
+}
+
+// At implements Trajectory.
+func (d Delayed) At(t float64) geom.Point {
+	if t < d.Start {
+		return d.Traj.At(0)
+	}
+	return d.Traj.At(t - d.Start)
+}

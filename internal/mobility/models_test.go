@@ -1,0 +1,210 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/stats"
+)
+
+func TestProfileSpeed(t *testing.T) {
+	cases := []struct {
+		name string
+		want float64
+		ok   bool
+	}{
+		{"pedestrian", SpeedPedestrian, true},
+		{"bike", SpeedBike, true},
+		{"vehicle", SpeedVehicle, true},
+		{"jetpack", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ProfileSpeed(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ProfileSpeed(%q) = %v, %v; want %v, %v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+	if !(SpeedPedestrian < SpeedBike && SpeedBike < SpeedVehicle) {
+		t.Error("speed profiles must be strictly ordered pedestrian < bike < vehicle")
+	}
+}
+
+func TestTimedPathInterpolation(t *testing.T) {
+	p := TimedPath{
+		Times:  []float64{0, 2, 2, 5, 7},
+		Points: []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 2), geom.Pt(4, 2), geom.Pt(0, 2)},
+	}
+	cases := []struct {
+		t    float64
+		want geom.Point
+	}{
+		{-1, geom.Pt(0, 0)},  // clamp before start
+		{0, geom.Pt(0, 0)},   // first knot
+		{1, geom.Pt(2, 0)},   // mid-segment interpolation
+		{2, geom.Pt(4, 2)},   // zero-duration knot jumps to the later point
+		{3.5, geom.Pt(4, 2)}, // pause holds position
+		{6, geom.Pt(2, 2)},   // post-pause leg
+		{7, geom.Pt(0, 2)},   // last knot
+		{99, geom.Pt(0, 2)},  // clamp after end
+	}
+	for _, c := range cases {
+		got := p.At(c.t)
+		if got.Dist(c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if p.End() != 7 {
+		t.Errorf("End() = %v, want 7", p.End())
+	}
+}
+
+func TestTimedPathDegenerate(t *testing.T) {
+	var empty TimedPath
+	if got := empty.At(3); got != (geom.Point{}) {
+		t.Errorf("empty path At = %v, want origin", got)
+	}
+	if empty.End() != 0 {
+		t.Errorf("empty path End = %v", empty.End())
+	}
+	mismatched := TimedPath{Times: []float64{0, 1}, Points: []geom.Point{geom.Pt(1, 1)}}
+	if got := mismatched.At(0.5); got != (geom.Point{}) {
+		t.Errorf("mismatched path At = %v, want origin", got)
+	}
+}
+
+func TestRandomWaypointProperties(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 20}
+	start := geom.Pt(5, 5)
+	const dur = 60.0
+	p := NewRandomWaypoint(bounds, start, 1, 2, 3, dur, stats.NewRNG(7))
+
+	if p.End() < dur {
+		t.Fatalf("path covers %.1f s, want >= %.1f", p.End(), dur)
+	}
+	if p.Points[0] != start {
+		t.Fatalf("path starts at %v, want %v", p.Points[0], start)
+	}
+	// Every sampled position stays inside bounds, and displacement between
+	// samples never exceeds the maximum speed.
+	prev := p.At(0)
+	for ts := 0.0; ts <= dur; ts += 0.1 {
+		pos := p.At(ts)
+		if !bounds.Contains(pos) {
+			t.Fatalf("position %v at t=%.1f escapes bounds", pos, ts)
+		}
+		if d := pos.Dist(prev); d > 2*0.1+1e-9 {
+			t.Fatalf("speed %.2f m/s at t=%.1f exceeds max 2", d/0.1, ts)
+		}
+		prev = pos
+	}
+	// Knot times must be non-decreasing (pauses repeat points, never
+	// rewind time).
+	for i := 1; i < len(p.Times); i++ {
+		if p.Times[i] < p.Times[i-1] {
+			t.Fatalf("knot %d time %.3f precedes %.3f", i, p.Times[i], p.Times[i-1])
+		}
+	}
+}
+
+func TestRandomWaypointDeterminism(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 20}
+	a := NewRandomWaypoint(bounds, geom.Pt(3, 3), 1, 3, 2, 30, stats.NewRNG(11))
+	b := NewRandomWaypoint(bounds, geom.Pt(3, 3), 1, 3, 2, 30, stats.NewRNG(11))
+	if len(a.Times) != len(b.Times) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Times), len(b.Times))
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] || a.Points[i] != b.Points[i] {
+			t.Fatalf("knot %d differs: (%v,%v) vs (%v,%v)",
+				i, a.Times[i], a.Points[i], b.Times[i], b.Points[i])
+		}
+	}
+}
+
+func TestManhattanPathOnGrid(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 30}
+	const block = 10.0
+	path := ManhattanPath(geom.Pt(13, 22), bounds, block, 40, stats.NewRNG(3))
+
+	if len(path.Waypoints) < 2 {
+		t.Fatalf("path has %d waypoints, want a real walk", len(path.Waypoints))
+	}
+	for i, w := range path.Waypoints {
+		if !bounds.Contains(w) {
+			t.Fatalf("waypoint %d = %v escapes bounds", i, w)
+		}
+		// Every waypoint sits on a street intersection of the grid.
+		fx := math.Mod(w.X-bounds.MinX, block)
+		fy := math.Mod(w.Y-bounds.MinY, block)
+		if math.Min(fx, block-fx) > 1e-9 || math.Min(fy, block-fy) > 1e-9 {
+			t.Fatalf("waypoint %d = %v is off the %g m grid", i, w, block)
+		}
+		if i == 0 {
+			continue
+		}
+		// Each leg advances exactly one block along exactly one axis.
+		prev := path.Waypoints[i-1]
+		dx, dy := math.Abs(w.X-prev.X), math.Abs(w.Y-prev.Y)
+		axisLeg := (dx == block && dy == 0) || (dx == 0 && dy == block)
+		if !axisLeg {
+			t.Fatalf("leg %d from %v to %v is not a single axis-aligned block", i, prev, w)
+		}
+	}
+}
+
+func TestManhattanPathDeterminismAndVariety(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 30}
+	a := ManhattanPath(geom.Pt(20, 10), bounds, 10, 30, stats.NewRNG(5))
+	b := ManhattanPath(geom.Pt(20, 10), bounds, 10, 30, stats.NewRNG(5))
+	if len(a.Waypoints) != len(b.Waypoints) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Waypoints), len(b.Waypoints))
+	}
+	for i := range a.Waypoints {
+		if a.Waypoints[i] != b.Waypoints[i] {
+			t.Fatalf("waypoint %d differs: %v vs %v", i, a.Waypoints[i], b.Waypoints[i])
+		}
+	}
+	// A long enough walk must use both axes — otherwise it is not a grid
+	// walk but a line.
+	usedX, usedY := false, false
+	for i := 1; i < len(a.Waypoints); i++ {
+		if a.Waypoints[i].X != a.Waypoints[i-1].X {
+			usedX = true
+		}
+		if a.Waypoints[i].Y != a.Waypoints[i-1].Y {
+			usedY = true
+		}
+	}
+	if !usedX || !usedY {
+		t.Errorf("30-leg Manhattan walk never turned (usedX=%v usedY=%v)", usedX, usedY)
+	}
+}
+
+func TestManhattanPathTinyBounds(t *testing.T) {
+	// Bounds smaller than one block: the walk cannot step anywhere and must
+	// degenerate to its snapped start without panicking or looping.
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}
+	path := ManhattanPath(geom.Pt(2, 2), bounds, 10, 10, stats.NewRNG(1))
+	if len(path.Waypoints) != 1 {
+		t.Fatalf("degenerate walk has %d waypoints, want 1", len(path.Waypoints))
+	}
+	if !bounds.Contains(path.Waypoints[0]) {
+		t.Fatalf("snapped start %v outside bounds", path.Waypoints[0])
+	}
+}
+
+func TestDelayedTrajectory(t *testing.T) {
+	walk := WaypointWalk{Path: geom.NewPath(geom.Pt(0, 0), geom.Pt(10, 0)), Speed: 1}
+	d := Delayed{Start: 5, Traj: walk}
+	if got := d.At(0); got != geom.Pt(0, 0) {
+		t.Errorf("At(0) = %v, want start hold", got)
+	}
+	if got := d.At(4.999); got != geom.Pt(0, 0) {
+		t.Errorf("At(4.999) = %v, want start hold", got)
+	}
+	if got := d.At(7); got.Dist(geom.Pt(2, 0)) > 1e-12 {
+		t.Errorf("At(7) = %v, want (2,0) — walk re-based to the release time", got)
+	}
+}

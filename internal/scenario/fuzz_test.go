@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzParseScenario throws arbitrary bytes at the parser. The committed
+// example scenarios seed the corpus alongside a handful of near-miss
+// documents, so mutations explore the validation paths, not just the JSON
+// lexer. The property under test: Parse never panics, and an accepted
+// document yields a structurally sound Spec whose Build expansion succeeds
+// against an AP-less deployment.
+func FuzzParseScenario(f *testing.F) {
+	for _, file := range exampleFiles(f) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seeds := []string{
+		`{"v":1,"name":"x","duration_s":5,"clients":[{"id":"a","mode":"macro","model":"circle","radius_m":9}]}`,
+		`{"v":1,"name":"x","duration_s":5,"clients":[{"id":"a","mode":"micro"}]}`,
+		`{"v":2,"name":"x","duration_s":5,"clients":[]}`,
+		`{"v":1,"name":"UPPER","duration_s":-3}`,
+		`[1, 2, 3]`,
+		`{"v":1,`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse("fuzz.json", data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("error with empty message")
+			}
+			return
+		}
+		if spec.Name == "" || spec.DurationS <= 0 || spec.Total < 1 ||
+			len(spec.Groups) == 0 || spec.Total > MaxClients {
+			t.Fatalf("accepted spec violates invariants: %+v", spec)
+		}
+		clients, err := Build(spec, nil, 1)
+		if err != nil {
+			t.Fatalf("valid spec failed to build: %v", err)
+		}
+		if len(clients) != spec.Total {
+			t.Fatalf("built %d clients, want %d", len(clients), spec.Total)
+		}
+	})
+}

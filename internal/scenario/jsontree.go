@@ -1,0 +1,244 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// The scenario file format is validated against a hand-written schema, and
+// every diagnostic — syntax, unknown field, wrong type, out-of-range value,
+// duplicate id — carries the document position it refers to. encoding/json
+// alone cannot do that (Unmarshal reports neither positions nor paths for
+// semantic errors), so Parse first builds a position-annotated value tree
+// from the decoder's token stream and validates that. The tree builder is
+// pure: it draws no randomness, touches no clock, and allocates in
+// proportion to the input, which is capped at MaxFileBytes.
+
+// MaxFileBytes bounds the accepted scenario-file size.
+const MaxFileBytes = 1 << 20
+
+// maxDepth bounds the nesting of a scenario file; the schema needs 4.
+const maxDepth = 32
+
+// Error is a scenario-file diagnostic with its document position. Line and
+// Col are 1-based; Path is the JSON path of the offending value, e.g.
+// "clients[2].speed_mps" (empty for file-level problems).
+type Error struct {
+	Name string
+	Line int
+	Col  int
+	Path string
+	Msg  string
+}
+
+// Error implements error: "name:line:col: path: msg".
+func (e *Error) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("%s:%d:%d: %s", e.Name, e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", e.Name, e.Line, e.Col, e.Path, e.Msg)
+}
+
+type nodeKind int
+
+const (
+	kindObject nodeKind = iota
+	kindArray
+	kindString
+	kindNumber
+	kindBool
+	kindNull
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case kindObject:
+		return "object"
+	case kindArray:
+		return "array"
+	case kindString:
+		return "string"
+	case kindNumber:
+		return "number"
+	case kindBool:
+		return "bool"
+	default:
+		return "null"
+	}
+}
+
+// node is one JSON value with its document position.
+type node struct {
+	kind nodeKind
+	str  string
+	num  float64
+	b    bool
+
+	// Object children, with keys preserved in document order so that
+	// unknown-field diagnostics are deterministic and point at the first
+	// offender in the file.
+	keys   []string
+	fields map[string]*node
+	elems  []*node
+
+	line, col int
+}
+
+// treeParser turns a byte buffer into a *node tree.
+type treeParser struct {
+	name       string
+	dec        *json.Decoder
+	lineStarts []int
+}
+
+// lineCol converts a byte offset into a 1-based (line, column) pair.
+func (p *treeParser) lineCol(off int64) (int, int) {
+	i := sort.Search(len(p.lineStarts), func(k int) bool {
+		return int64(p.lineStarts[k]) > off
+	}) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i + 1, int(off) - p.lineStarts[i] + 1
+}
+
+// herePos reports the position of the token the decoder just consumed
+// (the decoder only exposes the offset after the token, so this lands on
+// its final byte — the right line for any single-line token).
+func (p *treeParser) herePos() (int, int) {
+	off := p.dec.InputOffset() - 1
+	if off < 0 {
+		off = 0
+	}
+	return p.lineCol(off)
+}
+
+func (p *treeParser) errf(format string, args ...any) error {
+	line, col := p.herePos()
+	return &Error{Name: p.name, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseTree parses data into a position-annotated tree. name labels
+// diagnostics (usually the file path).
+func parseTree(name string, data []byte) (*node, error) {
+	if len(data) > MaxFileBytes {
+		return nil, &Error{Name: name, Line: 1, Col: 1,
+			Msg: fmt.Sprintf("file too large: %d bytes (max %d)", len(data), MaxFileBytes)}
+	}
+	p := &treeParser{
+		name: name,
+		dec:  json.NewDecoder(bytes.NewReader(data)),
+	}
+	p.dec.UseNumber()
+	p.lineStarts = append(p.lineStarts, 0)
+	for i, c := range data {
+		if c == '\n' {
+			p.lineStarts = append(p.lineStarts, i+1)
+		}
+	}
+	root, err := p.value(0)
+	if err != nil {
+		return nil, p.wrapSyntax(err)
+	}
+	// Anything after the top-level value is a mistake worth flagging.
+	if tok, err := p.dec.Token(); err == nil {
+		return nil, p.errf("unexpected %v after the top-level value", tok)
+	}
+	return root, nil
+}
+
+// wrapSyntax converts encoding/json errors into positioned Errors.
+func (p *treeParser) wrapSyntax(err error) error {
+	if e, ok := err.(*Error); ok {
+		return e
+	}
+	if se, ok := err.(*json.SyntaxError); ok {
+		line, col := p.lineCol(se.Offset - 1)
+		return &Error{Name: p.name, Line: line, Col: col, Msg: "syntax error: " + se.Error()}
+	}
+	line, col := p.herePos()
+	return &Error{Name: p.name, Line: line, Col: col, Msg: err.Error()}
+}
+
+// value parses one JSON value from the token stream.
+func (p *treeParser) value(depth int) (*node, error) {
+	if depth > maxDepth {
+		return nil, p.errf("nesting deeper than %d levels", maxDepth)
+	}
+	tok, err := p.dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	return p.valueFrom(tok, depth)
+}
+
+// valueFrom builds the node for an already-read token, descending into
+// containers.
+func (p *treeParser) valueFrom(tok json.Token, depth int) (*node, error) {
+	n := &node{}
+	n.line, n.col = p.herePos()
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			n.kind = kindObject
+			n.fields = map[string]*node{}
+			for p.dec.More() {
+				keyTok, err := p.dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return nil, p.errf("object key is %v, want a string", keyTok)
+				}
+				keyLine, keyCol := p.herePos()
+				child, err := p.value(depth + 1)
+				if err != nil {
+					return nil, err
+				}
+				if _, dup := n.fields[key]; dup {
+					return nil, &Error{Name: p.name, Line: keyLine, Col: keyCol,
+						Msg: fmt.Sprintf("duplicate key %q", key)}
+				}
+				n.keys = append(n.keys, key)
+				n.fields[key] = child
+			}
+			if _, err := p.dec.Token(); err != nil { // consume '}'
+				return nil, err
+			}
+		case '[':
+			n.kind = kindArray
+			for p.dec.More() {
+				child, err := p.value(depth + 1)
+				if err != nil {
+					return nil, err
+				}
+				n.elems = append(n.elems, child)
+			}
+			if _, err := p.dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+		}
+	case string:
+		n.kind = kindString
+		n.str = t
+	case json.Number:
+		n.kind = kindNumber
+		f, err := t.Float64()
+		if err != nil {
+			return nil, p.errf("bad number %q: %v", t.String(), err)
+		}
+		n.num = f
+	case bool:
+		n.kind = kindBool
+		n.b = t
+	case nil:
+		n.kind = kindNull
+	default:
+		return nil, p.errf("unsupported token %v", tok)
+	}
+	return n, nil
+}

@@ -72,6 +72,29 @@ func nearestAPs(plan roaming.Plan, home, k int) []int {
 	return sub
 }
 
+// contendSetup is one prebuilt contended client: everything the shared-
+// medium event loop needs, from whichever source (the round-robin fleet or
+// a scenario spec) derived it.
+type contendSetup struct {
+	scen  *mobility.Scenario
+	w     WLANOptions
+	seed  uint64
+	apIdx []int
+	mode  mobility.Mode
+}
+
+// subPlanFor restricts the deployment to the maxAPs APs nearest home
+// (0 = all), returning the restricted plan and the global AP indices it
+// covers.
+func subPlanFor(plan roaming.Plan, home, maxAPs int) (roaming.Plan, []int) {
+	apIdx := nearestAPs(plan, home, maxAPs)
+	sub := roaming.Plan{Channel: plan.Channel}
+	for _, gi := range apIdx {
+		sub.APs = append(sub.APs, plan.APs[gi])
+	}
+	return sub, apIdx
+}
+
 // contendClientSetup derives contended client i's scenario, WLAN options,
 // simulation seed, and AP subset — exactly the uncontended fleet's
 // per-client derivation (base = Split(seed, i+1), scenario from
@@ -97,11 +120,7 @@ func contendClientSetup(plan roaming.Plan, opt FleetOptions, seed uint64, trialB
 	scfg.Bounds.MaxY += dy
 	scen := mobility.NewScenario(mode, scfg, base.Split(1))
 
-	apIdx := nearestAPs(plan, home, opt.MaxAPs)
-	sub := roaming.Plan{Channel: plan.Channel}
-	for _, gi := range apIdx {
-		sub.APs = append(sub.APs, plan.APs[gi])
-	}
+	sub, apIdx := subPlanFor(plan, home, opt.MaxAPs)
 	w := DefaultWLANOptions(opt.MotionAware)
 	w.Plan = sub
 	w.Obs = opt.Obs
@@ -119,17 +138,32 @@ func contendClientSetup(plan roaming.Plan, opt FleetOptions, seed uint64, trialB
 // and draws nothing).
 func runWLANFleetContended(opt FleetOptions, seed uint64) FleetResult {
 	n := opt.Clients
-	res := FleetResult{}
 	if n <= 0 {
-		return res
+		return FleetResult{}
 	}
 	trialBase := opt.TrialBase
 	if trialBase == 0 {
 		trialBase = fleetTrialBase
 	}
+	plan, channels := contendPlan(opt)
+	setups := make([]contendSetup, n)
+	for i := range setups {
+		scen, w, cseed, apIdx, mode := contendClientSetup(plan, opt, seed, trialBase, i)
+		setups[i] = contendSetup{scen: scen, w: w, seed: cseed, apIdx: apIdx, mode: mode}
+	}
+	return runContendedSetups(opt, plan, channels, setups)
+}
+
+// runContendedSetups runs prebuilt contended clients through the serial
+// shared-medium event loop and aggregates the fleet result.
+func runContendedSetups(opt FleetOptions, plan roaming.Plan, channels []int, setups []contendSetup) FleetResult {
+	n := len(setups)
+	res := FleetResult{}
+	if n == 0 {
+		return res
+	}
 	clientsMet := opt.Obs.Registry().Counter("sim.fleet.clients")
 
-	plan, channels := contendPlan(opt)
 	mcfg := medium.DefaultConfig()
 	if opt.CSRangeM > 0 {
 		mcfg.CSRangeM = opt.CSRangeM
@@ -152,9 +186,9 @@ func runWLANFleetContended(opt FleetOptions, seed uint64) FleetResult {
 	modes := make([]mobility.Mode, n)
 	h := medium.NewEventHeap(n)
 	for i := 0; i < n; i++ {
-		scen, w, cseed, apIdx, mode := contendClientSetup(plan, opt, seed, trialBase, i)
-		modes[i] = mode
-		c := newWLANClient(scen, w, cseed, apIdx)
+		s := setups[i]
+		modes[i] = s.mode
+		c := newWLANClient(s.scen, s.w, s.seed, s.apIdx)
 		med.AddStation(c.medRNG)
 		clients[i] = c
 		if !c.advance() {
@@ -199,12 +233,7 @@ func runWLANFleetContended(opt FleetOptions, seed uint64) FleetResult {
 
 	publishContendStats(opt, cs)
 
-	for _, c := range res.PerClient {
-		res.TotalMbps += c.Mbps
-		res.Handoffs += c.Handoffs
-		res.Scans += c.Scans
-	}
-	res.MeanMbps = res.TotalMbps / float64(n)
+	res.finish()
 	return res
 }
 

@@ -74,6 +74,9 @@ type ClientResult struct {
 type FleetResult struct {
 	// PerClient holds each client's result, in client order.
 	PerClient []ClientResult
+	// Names holds per-client display names in client order; nil for the
+	// round-robin fleet, set by scenario-driven runs.
+	Names []string
 	// TotalMbps sums goodput over all clients; MeanMbps divides by the
 	// fleet size.
 	TotalMbps, MeanMbps float64
@@ -82,6 +85,19 @@ type FleetResult struct {
 	// Contend holds the shared-medium accounting; nil for uncontended
 	// runs.
 	Contend *ContendStats
+}
+
+// finish computes the fleet aggregates from the per-client results.
+func (r *FleetResult) finish() {
+	r.TotalMbps, r.Handoffs, r.Scans = 0, 0, 0
+	for _, c := range r.PerClient {
+		r.TotalMbps += c.Mbps
+		r.Handoffs += c.Handoffs
+		r.Scans += c.Scans
+	}
+	if n := len(r.PerClient); n > 0 {
+		r.MeanMbps = r.TotalMbps / float64(n)
+	}
 }
 
 // RunWLANFleet simulates opt.Clients independent clients against the
@@ -125,11 +141,6 @@ func RunWLANFleet(opt FleetOptions, seed uint64) FleetResult {
 		clients.Inc()
 		return ClientResult{Client: i, Mode: mode, WLANResult: r}
 	})
-	for _, c := range res.PerClient {
-		res.TotalMbps += c.Mbps
-		res.Handoffs += c.Handoffs
-		res.Scans += c.Scans
-	}
-	res.MeanMbps = res.TotalMbps / float64(n)
+	res.finish()
 	return res
 }

@@ -11,21 +11,21 @@ import (
 	"mobiwlan/internal/transport"
 )
 
-func scenario(mode mobility.Mode, seed uint64, duration float64) *mobility.Scenario {
+func makeScenario(mode mobility.Mode, seed uint64, duration float64) *mobility.Scenario {
 	cfg := mobility.DefaultSceneConfig()
 	cfg.Duration = duration
 	return mobility.NewScenario(mode, cfg, stats.NewRNG(seed))
 }
 
 func TestRunLinkBasics(t *testing.T) {
-	res := RunLink(scenario(mobility.Static, 1, 3), DefaultLinkOptions(), 42)
+	res := RunLink(makeScenario(mobility.Static, 1, 3), DefaultLinkOptions(), 42)
 	if res.Mbps <= 0 || res.Frames == 0 || res.DeliveredMPDUs == 0 {
 		t.Fatalf("RunLink = %+v", res)
 	}
 }
 
 func TestRunLinkDeterministic(t *testing.T) {
-	scen := scenario(mobility.Micro, 2, 3)
+	scen := makeScenario(mobility.Micro, 2, 3)
 	a := RunLink(scen, DefaultLinkOptions(), 7)
 	b := RunLink(scen, DefaultLinkOptions(), 7)
 	if a.Mbps != b.Mbps || a.Frames != b.Frames {
@@ -34,7 +34,7 @@ func TestRunLinkDeterministic(t *testing.T) {
 }
 
 func TestRunLinkClassifierTracksState(t *testing.T) {
-	scen := scenario(mobility.Static, 3, 6)
+	scen := makeScenario(mobility.Static, 3, 6)
 	opt := MotionAwareLinkOptions()
 	res := RunLink(scen, opt, 9)
 	staticTime := res.StateDurations[core.StateStatic]
@@ -44,7 +44,7 @@ func TestRunLinkClassifierTracksState(t *testing.T) {
 }
 
 func TestRunLinkOracleState(t *testing.T) {
-	scen := scenario(mobility.Micro, 4, 4)
+	scen := makeScenario(mobility.Micro, 4, 4)
 	opt := MotionAwareLinkOptions()
 	opt.OracleState = OracleStateFunc(scen)
 	res := RunLink(scen, opt, 11)
@@ -54,7 +54,7 @@ func TestRunLinkOracleState(t *testing.T) {
 }
 
 func TestRunLinkCBRSourceLimitsThroughput(t *testing.T) {
-	scen := scenario(mobility.Static, 5, 4)
+	scen := makeScenario(mobility.Static, 5, 4)
 	opt := DefaultLinkOptions()
 	opt.Source = &transport.CBR{RateMbps: 10, MPDUBytes: 1500}
 	res := RunLink(scen, opt, 13)
@@ -67,7 +67,7 @@ func TestRunLinkCBRSourceLimitsThroughput(t *testing.T) {
 }
 
 func TestRunLinkTCPSource(t *testing.T) {
-	scen := scenario(mobility.Static, 6, 4)
+	scen := makeScenario(mobility.Static, 6, 4)
 	opt := DefaultLinkOptions()
 	opt.Source = transport.NewTCPReno(1500)
 	res := RunLink(scen, opt, 15)
@@ -149,7 +149,7 @@ func TestRunLinkGoodputNeverExceedsPHYRate(t *testing.T) {
 	// Sanity invariant: delivered goodput cannot exceed the top PHY rate
 	// (300 Mb/s for 2 streams at 40 MHz SGI).
 	for _, mode := range mobility.AllModes {
-		res := RunLink(scenario(mode, 77, 2), DefaultLinkOptions(), 5)
+		res := RunLink(makeScenario(mode, 77, 2), DefaultLinkOptions(), 5)
 		if res.Mbps > 300 {
 			t.Fatalf("%v: %.1f Mbps exceeds the PHY ceiling", mode, res.Mbps)
 		}

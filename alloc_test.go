@@ -46,6 +46,37 @@ func TestResponseIntoAllocFree(t *testing.T) {
 	}
 }
 
+// TestKernelStrategiesAllocFree pins both batched-kernel strategies
+// separately: a macro client moves every call (every ResponseInto miss
+// runs evalDirect), while an environmental client holds still as its
+// movers advance (every miss runs evalIncremental with the memoized
+// prefix). Both must stay allocation-free once the per-path cache state
+// has been sized.
+func TestKernelStrategiesAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode mobility.Mode
+	}{
+		{"direct", mobility.Macro},
+		{"incremental", mobility.Environmental},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ch := allocScenario(t, tc.mode)
+			var h *csi.Matrix
+			h = ch.ResponseInto(0, h)
+			h = ch.ResponseInto(0.01, h) // build the incremental prefix
+			i := 1
+			allocs := testing.AllocsPerRun(100, func() {
+				i++
+				h = ch.ResponseInto(float64(i)*0.01, h)
+			})
+			if allocs != 0 {
+				t.Fatalf("%s kernel with warm cache: %v allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
 func TestMeasureIntoAllocFree(t *testing.T) {
 	ch := allocScenario(t, mobility.Macro)
 	var h *csi.Matrix

@@ -33,6 +33,16 @@ var hotpathManifest = map[string][]hotpathPin{
 	"TestMeasureIntoAllocFree": {
 		{"internal/channel/channel.go", "Model", "MeasureInto"},
 	},
+	"TestKernelStrategiesAllocFree": {
+		{"internal/channel/kernel.go", "Model", "evalDirect"},
+		{"internal/channel/kernel.go", "Model", "evalIncremental"},
+		{"internal/channel/kernel.go", "", "chainSweep"},
+		{"internal/channel/kernel.go", "", "chainSweepPrefixed"},
+		{"internal/channel/pow4.go", "", "pow075x4"},
+		{"internal/fastmath/fastmath.go", "", "Sincos"},
+		{"internal/channel/kernel.go", "Model", "sweepFused"},
+		{"internal/channel/chainquad_amd64.go", "", "chainQuad2"},
+	},
 	"TestWorkspaceSimilarityAllocFree": {
 		{"internal/csi/csi.go", "Workspace", "Similarity"},
 	},

@@ -24,6 +24,7 @@ import (
 	"mobiwlan/internal/parallel"
 	"mobiwlan/internal/phy"
 	"mobiwlan/internal/roaming"
+	"mobiwlan/internal/scenario"
 	"mobiwlan/internal/sim"
 	"mobiwlan/internal/stats"
 )
@@ -286,6 +287,58 @@ func BenchmarkContendedFleet(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScenarioFleet tracks the declarative fleet path end to end:
+// parse a committed scenario file, build its clients, and run their full
+// WLAN stacks. The spec (office-mixed: one client per ground-truth mode on
+// the paper's floor) is authoritative for the client mix; only its 30 s
+// duration is trimmed to one simulated second per iteration so the number
+// stays comparable to BenchmarkWLANFleet — the gap between the two is what
+// spec parsing and client building cost. Jobs is pinned to 1 and the seed
+// fixed so allocs/op stays exact across runs (see benchLinkSecond).
+func BenchmarkScenarioFleet(b *testing.B) {
+	spec, err := scenario.ParseFile("examples/scenarios/office-mixed.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.DurationS = 1
+	opt := sim.FleetOptions{Jobs: 1}
+	if _, err := sim.RunScenarioFleet(spec, opt, 42); err != nil { // warm lazy state outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunScenarioFleet(spec, opt, 42)
+		if err != nil || len(res.PerClient) != spec.Total {
+			b.Fatalf("bad scenario fleet result: %v", err)
+		}
+	}
+}
+
+// benchSharedFleet runs the shared-scene measurement sweep — one scatterer
+// population, lockstep CSI ticks — with geometry sharing on or off.
+// Results are bit-identical either way (TestSharedFleetSharedMatchesUnshared);
+// the gap between the two is what per-tick geometry priming saves across
+// the fleet, which grows with scatterer count and shrinks as the coherence
+// cache absorbs geometry cost (at the default scene the two are close).
+// Jobs is pinned to 1 so the number measures per-client cost, not
+// scheduler fan-out.
+func benchSharedFleet(b *testing.B, disableShared bool) {
+	opt := sim.SharedFleetOptions{Clients: 16, Jobs: 1, Duration: 5, DisableShared: disableShared}
+	_ = sim.RunSharedFleet(opt, 42) // warm lazy state outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.RunSharedFleet(opt, 42)
+		if len(res.PerClient) != opt.Clients {
+			b.Fatal("bad shared fleet size")
+		}
+	}
+}
+
+func BenchmarkSharedFleet(b *testing.B)         { benchSharedFleet(b, false) }
+func BenchmarkSharedFleetUnshared(b *testing.B) { benchSharedFleet(b, true) }
 
 func BenchmarkRoamingRunSecond(b *testing.B) {
 	cfg := mobility.DefaultSceneConfig()

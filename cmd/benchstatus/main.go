@@ -20,6 +20,15 @@
 //	    (tolerance absorbs machine-to-machine and run-to-run timing
 //	    noise).
 //
+//	benchstatus -compare [-md] OLD.json NEW.json
+//	    Diff two committed snapshots without running anything: a
+//	    per-benchmark delta table (ns/op ratio, B/op, allocs/op, with
+//	    added/removed benchmarks called out). This is how a PR's
+//	    BENCH_prN.json rollover is summarized against the frozen
+//	    previous baseline; -md emits a GitHub-flavored markdown table
+//	    suitable for a CI job summary. Informational only — the exit
+//	    code does not depend on the deltas.
+//
 // Exit codes mirror cmd/mobilint: 0 clean, 1 regression found, 2 usage or
 // execution error.
 //
@@ -49,7 +58,7 @@ import (
 // and link pipelines that consume them. Full figure regeneration benches
 // (BenchmarkFigure*) are excluded by default because their runtime would
 // dominate CI; pass -bench '.' to snapshot everything.
-const defaultBench = "^(BenchmarkChannelResponse|BenchmarkChannelMeasure|BenchmarkCSISimilarity|BenchmarkEffectiveSNR|BenchmarkClassifierPipeline|BenchmarkLinkSimSecond|BenchmarkStaticLinkSecond|BenchmarkStaticLinkSecondUncached|BenchmarkEnvLinkSecond|BenchmarkEnvLinkSecondUncached|BenchmarkWLANFleet|BenchmarkContendedFleet|BenchmarkZFPrecoder|BenchmarkCtlBatchEncode|BenchmarkCtlDeltaDecode|BenchmarkCtlCoordinatorReport|BenchmarkCtlLoadSchedule)$"
+const defaultBench = "^(BenchmarkChannelResponse|BenchmarkChannelMeasure|BenchmarkCSISimilarity|BenchmarkEffectiveSNR|BenchmarkClassifierPipeline|BenchmarkLinkSimSecond|BenchmarkStaticLinkSecond|BenchmarkStaticLinkSecondUncached|BenchmarkEnvLinkSecond|BenchmarkEnvLinkSecondUncached|BenchmarkWLANFleet|BenchmarkContendedFleet|BenchmarkScenarioFleet|BenchmarkSharedFleet|BenchmarkSharedFleetUnshared|BenchmarkZFPrecoder|BenchmarkCtlBatchEncode|BenchmarkCtlDeltaDecode|BenchmarkCtlCoordinatorReport|BenchmarkCtlLoadSchedule)$"
 
 // Snapshot is the normalized on-disk form of one benchmark run.
 type Snapshot struct {
@@ -87,16 +96,36 @@ func run(args []string, stdout, stderr *os.File) int {
 		check     = fs.Bool("check", false, "compare the run against -baseline and fail on regression")
 		baseline  = fs.String("baseline", "", "committed snapshot to compare against (required with -check)")
 		tol       = fs.Float64("tol", 0.35, "allowed fractional ns/op slowdown vs baseline")
+		compareTo = fs.Bool("compare", false, "diff two snapshot files (OLD NEW args) without running benchmarks")
+		md        = fs.Bool("md", false, "with -compare, emit a markdown table (for CI job summaries)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *compareTo {
+		if fs.NArg() != 2 {
+			_, _ = fmt.Fprintln(stderr, "benchstatus: -compare takes exactly two snapshot files: OLD NEW")
+			return 2
+		}
+		oldSnap, err := readSnapshot(fs.Arg(0))
+		if err != nil {
+			_, _ = fmt.Fprintf(stderr, "benchstatus: %v\n", err)
+			return 2
+		}
+		newSnap, err := readSnapshot(fs.Arg(1))
+		if err != nil {
+			_, _ = fmt.Fprintf(stderr, "benchstatus: %v\n", err)
+			return 2
+		}
+		reportDelta(stdout, fs.Arg(0), fs.Arg(1), oldSnap, newSnap, *md)
+		return 0
 	}
 	if *check && *baseline == "" {
 		_, _ = fmt.Fprintln(stderr, "benchstatus: -check requires -baseline")
 		return 2
 	}
 	if !*check && *out == "" {
-		_, _ = fmt.Fprintln(stderr, "benchstatus: nothing to do: pass -o FILE to snapshot or -check -baseline FILE to gate")
+		_, _ = fmt.Fprintln(stderr, "benchstatus: nothing to do: pass -o FILE to snapshot, -check -baseline FILE to gate, or -compare OLD NEW to diff")
 		return 2
 	}
 
@@ -341,6 +370,67 @@ func report(w *os.File, base, cur Snapshot, tol float64) {
 			ratio = c.NsPerOp / b.NsPerOp
 		}
 		_, _ = fmt.Fprintf(w, "%-32s %14.1f %14.1f %8d %7.2fx  %s\n", name, b.NsPerOp, c.NsPerOp, c.AllocsPerOp, ratio, verdict)
+	}
+}
+
+// reportDelta prints the per-benchmark diff of two snapshots — the
+// trajectory view of a baseline rollover. Ratios below 1.00x are
+// speedups. Benchmarks present in only one snapshot are listed as added
+// or removed rather than silently dropped, so coverage changes are as
+// visible as cost changes.
+func reportDelta(w *os.File, oldName, newName string, oldSnap, newSnap Snapshot, md bool) {
+	names := map[string]bool{}
+	for name := range oldSnap.Benchmarks {
+		names[name] = true
+	}
+	for name := range newSnap.Benchmarks {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	if md {
+		_, _ = fmt.Fprintf(w, "### Benchmark delta: %s → %s\n\n", oldName, newName)
+		_, _ = fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | ratio | old allocs | new allocs | old B/op | new B/op |")
+		_, _ = fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|")
+	} else {
+		_, _ = fmt.Fprintf(w, "benchmark delta: %s -> %s\n", oldName, newName)
+		_, _ = fmt.Fprintf(w, "%-34s %14s %14s %8s %16s %18s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs old->new", "B/op old->new")
+	}
+	for _, name := range sorted {
+		o, haveOld := oldSnap.Benchmarks[name]
+		n, haveNew := newSnap.Benchmarks[name]
+		switch {
+		case !haveOld:
+			if md {
+				_, _ = fmt.Fprintf(w, "| %s | - | %.1f | added | - | %d | - | %d |\n", name, n.NsPerOp, n.AllocsPerOp, n.BytesPerOp)
+			} else {
+				_, _ = fmt.Fprintf(w, "%-34s %14s %14.1f %8s %16s %18s\n", name, "-", n.NsPerOp, "added", fmt.Sprintf("- -> %d", n.AllocsPerOp), fmt.Sprintf("- -> %d", n.BytesPerOp))
+			}
+		case !haveNew:
+			if md {
+				_, _ = fmt.Fprintf(w, "| %s | %.1f | - | removed | %d | - | %d | - |\n", name, o.NsPerOp, o.AllocsPerOp, o.BytesPerOp)
+			} else {
+				_, _ = fmt.Fprintf(w, "%-34s %14.1f %14s %8s %16s %18s\n", name, o.NsPerOp, "-", "removed", fmt.Sprintf("%d -> -", o.AllocsPerOp), fmt.Sprintf("%d -> -", o.BytesPerOp))
+			}
+		default:
+			ratio := 0.0
+			if o.NsPerOp > 0 {
+				ratio = n.NsPerOp / o.NsPerOp
+			}
+			if md {
+				_, _ = fmt.Fprintf(w, "| %s | %.1f | %.1f | %.2fx | %d | %d | %d | %d |\n",
+					name, o.NsPerOp, n.NsPerOp, ratio, o.AllocsPerOp, n.AllocsPerOp, o.BytesPerOp, n.BytesPerOp)
+			} else {
+				_, _ = fmt.Fprintf(w, "%-34s %14.1f %14.1f %7.2fx %16s %18s\n",
+					name, o.NsPerOp, n.NsPerOp, ratio,
+					fmt.Sprintf("%d -> %d", o.AllocsPerOp, n.AllocsPerOp),
+					fmt.Sprintf("%d -> %d", o.BytesPerOp, n.BytesPerOp))
+			}
+		}
 	}
 }
 

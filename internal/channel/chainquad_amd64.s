@@ -1,0 +1,150 @@
+#include "textflag.h"
+
+// func chainQuad2(contribs, rots, out, pref *complex128, stride uintptr, n, snap, seed int, scale float64)
+//
+// Advances n chains for one two-pair column chunk across four consecutive
+// subcarriers. Lanes are independent antenna pairs: every YMM operation
+// applies the identical scalar IEEE operation to each 64-bit lane, so
+// running two pairs side by side cannot change a bit of either.
+//
+// Layout contract (see sweepFused in kernel.go): contribs/rots hold the
+// chunk's chain values path-major, successive paths `stride` bytes apart;
+// out and pref rows (one per subcarrier) are likewise `stride` bytes
+// apart. All pointers are to the chunk's first pair.
+//
+// Per path, each complex chain value c advances by c *= r four times with
+// the per-subcarrier sums accumulated before each multiply, exactly the
+// Go kernel's sequence. The complex multiply reproduces the Go compiler's
+// operand order per lane:
+//
+//	t1 = (c.re*r.re, c.re*r.im)   VMOVDDUP + VMULPD
+//	t2 = (c.im*r.im, c.im*r.re)   VPERMILPD dup + VMULPD by swapped r
+//	c  = (t1.0 - t2.0, t1.1 + t2.1)   VADDSUBPD
+//
+// i.e. re = c.re*r.re - c.im*r.im and im = c.re*r.im + c.im*r.re — the
+// same two products and the same add/sub, lane for lane.
+//
+// The two-phase loop implements the prefix snapshot: after `snap` paths
+// the four accumulators are stored to pref (when snap > 0), and when
+// seed != 0 they start from pref instead of zero. The caller guarantees
+// 0 <= snap <= n and n >= 1.
+//
+// Before the out stores each finished sum is multiplied by
+// complex(scale, 0) with the same cmul sequence — precisely the operation
+// Matrix.Scale applies per element (re*s - im*0, re*0 + im*s), fused here
+// so the shadowing pass stops re-walking the whole matrix. The prefix
+// snapshot keeps the unscaled sums, exactly what the separate-pass order
+// memoized.
+//
+// Register plan: Y0-Y3 subcarrier accumulators, Y4 chain value, Y5 r,
+// Y6 swapped r, Y7/Y8 multiply temporaries, Y9/Y10 the scale factor as
+// (s,0,s,0) and its swap.
+
+#define ADVANCE(S) \
+	VADDPD    Y4, S, S;        \
+	VMOVDDUP  Y4, Y7;          \
+	VPERMILPD $0xF, Y4, Y8;    \
+	VMULPD    Y5, Y7, Y7;      \
+	VMULPD    Y6, Y8, Y8;      \
+	VADDSUBPD Y8, Y7, Y4
+
+#define PATHBODY \
+	VMOVUPD   (SI), Y4;        \
+	VMOVUPD   (DX), Y5;        \
+	VPERMILPD $0x5, Y5, Y6;    \
+	ADVANCE(Y0);               \
+	ADVANCE(Y1);               \
+	ADVANCE(Y2);               \
+	ADVANCE(Y3);               \
+	VMOVUPD   Y4, (SI);        \
+	ADDQ      R9, SI;          \
+	ADDQ      R9, DX
+
+#define SCALEMUL(S) \
+	VMOVDDUP  S, Y7;           \
+	VPERMILPD $0xF, S, Y8;     \
+	VMULPD    Y9, Y7, Y7;      \
+	VMULPD    Y10, Y8, Y8;     \
+	VADDSUBPD Y8, Y7, S
+
+TEXT ·chainQuad2(SB), NOSPLIT, $0-72
+	MOVQ contribs+0(FP), SI
+	MOVQ rots+8(FP), DX
+	MOVQ out+16(FP), DI
+	MOVQ pref+24(FP), R8
+	MOVQ stride+32(FP), R9
+	MOVQ n+40(FP), R10
+	MOVQ snap+48(FP), R11
+	MOVQ seed+56(FP), R12
+
+	// Y9 = complex(scale, 0) in both 128-bit lanes, Y10 its swap.
+	VMOVSD      scale+64(FP), X9
+	VINSERTF128 $1, X9, Y9, Y9
+	VPERMILPD   $0x5, Y9, Y10
+
+	// Accumulators: zero, or the memoized prefix rows.
+	TESTQ R12, R12
+	JNZ   seed
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	JMP    seeded
+
+seed:
+	MOVQ    R8, AX
+	VMOVUPD (AX), Y0
+	ADDQ    R9, AX
+	VMOVUPD (AX), Y1
+	ADDQ    R9, AX
+	VMOVUPD (AX), Y2
+	ADDQ    R9, AX
+	VMOVUPD (AX), Y3
+
+seeded:
+	// Phase 1: the snap paths whose sums extend the prefix.
+	MOVQ  R11, R13
+	TESTQ R13, R13
+	JZ    nosnap
+
+loop1:
+	PATHBODY
+	DECQ R13
+	JNZ  loop1
+
+	// Snapshot the extended prefix.
+	MOVQ    R8, AX
+	VMOVUPD Y0, (AX)
+	ADDQ    R9, AX
+	VMOVUPD Y1, (AX)
+	ADDQ    R9, AX
+	VMOVUPD Y2, (AX)
+	ADDQ    R9, AX
+	VMOVUPD Y3, (AX)
+
+nosnap:
+	// Phase 2: the remaining paths.
+	MOVQ  R10, R13
+	SUBQ  R11, R13
+	TESTQ R13, R13
+	JZ    done
+
+loop2:
+	PATHBODY
+	DECQ R13
+	JNZ  loop2
+
+done:
+	SCALEMUL(Y0)
+	SCALEMUL(Y1)
+	SCALEMUL(Y2)
+	SCALEMUL(Y3)
+	VMOVUPD Y0, (DI)
+	ADDQ    R9, DI
+	VMOVUPD Y1, (DI)
+	ADDQ    R9, DI
+	VMOVUPD Y2, (DI)
+	ADDQ    R9, DI
+	VMOVUPD Y3, (DI)
+	VZEROUPPER
+	RET

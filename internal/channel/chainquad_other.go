@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package channel
+
+// fusedSweepOK gates the fused all-pairs chain sweep; the AVX2 kernel
+// only exists on amd64, so every other platform keeps the per-pair Go
+// sweep.
+const fusedSweepOK = false
+
+// chainQuad2 matches the amd64 declaration so kernel.go compiles
+// everywhere; unreachable because fusedSweepOK is constant false (and
+// Model.fused therefore never set).
+func chainQuad2(contribs, rots, out, pref *complex128, stride uintptr, n, snap, seed int, scale float64) {
+	panic("channel: chainQuad2 without AVX2")
+}

@@ -150,6 +150,12 @@ type Model struct {
 	// f0 and df are the first subcarrier frequency and the per-subcarrier
 	// increment, hoisted from the response loop.
 	f0, df float64
+	// csiNoiseScale is 10^(-CSINoiseSNRdB/20), hoisted from MeasureInto.
+	csiNoiseScale float64
+	// pow075OK enables the exact x^0.75 breakpoint fast path: the
+	// configured exponent must map to 0.75 and the platform's math.Pow
+	// must match pow075 bit-for-bit (see kernel.go).
+	pow075OK bool
 
 	// paths is per-call scratch for the response computation (LoS plus one
 	// bounce per scatterer), reused across calls so the steady-state hot
@@ -161,9 +167,34 @@ type Model struct {
 	// latency-bound serial rotation into independent chains without
 	// changing a single floating-point operation or its order.
 	contribs, rots []complex128
+	// legsTx/legsRx, amps and powIdx are pass scratch for the batched
+	// kernel (kernel.go): per-antenna bounce-leg distances at
+	// [anti*nPaths+pi], per-path amplitudes, and the gathered path-index
+	// set the breakpoint/phasor passes operate on. Sized alongside the
+	// cache's per-path state.
+	legsTx, legsRx []float64
+	amps           []float64
+	powIdx         []int32
+	// contribsP/rotsP are path-major scratch for the fused all-pairs
+	// sweep: chain row j holds every pair's value for one path at
+	// [j*nPairs+pair], so the AVX2 kernel (chainquad_amd64.s) walks all
+	// pairs' chains in lockstep. Only populated when fused is set.
+	contribsP, rotsP []complex128
+	// fused selects the AVX2 all-pairs chain sweep. Fixed at
+	// construction, because the prefix memo's layout depends on it
+	// (sc-major rows when fused, per-pair runs otherwise) and must stay
+	// consistent for the cache's lifetime.
+	fused bool
 	// rssiScratch backs MeanRSSI/SNRdB, which need a response matrix but
 	// expose only scalars derived from it.
 	rssiScratch *csi.Matrix
+
+	// shared is the optional fleet-wide geometry cache (sharedgeom.go);
+	// sharedHot is true while the current ResponseInto call's time
+	// matches the primed instant, so fillLegs reads the memoized AP-side
+	// legs instead of recomputing them. Set per call.
+	shared    *SharedGeometry
+	sharedHot bool
 
 	// cache is the coherence-aware response cache (see DESIGN.md, "Channel
 	// coherence cache"). Like the scratch slices above, it belongs to the
@@ -180,12 +211,16 @@ type Model struct {
 //     scatterer position) are unchanged since the previous call, the
 //     previous post-shadow matrix is copied out verbatim. Static trials
 //     collapse to one real evaluation per epoch.
-//   - Path level: otherwise each path's per-subcarrier phasor series is
-//     keyed per antenna pair on (path length, path gain) — the only inputs
-//     the series depends on — and recomputed only when that key changed.
-//     Environmental trials (one moving scatterer) pay only for the moving
-//     path; the summation still runs over all paths in the original order,
-//     so the output is bit-identical to an uncached evaluation.
+//   - Path level: otherwise the struct-of-arrays kernel (kernel.go) runs
+//     one of two strategies. If the client moved, every path length
+//     changed, so evalDirect recomputes everything while refreshing the
+//     per-(pair, path) phasor memo. If only scatterers moved,
+//     evalIncremental seeds each subcarrier's accumulator with the
+//     memoized ordered prefix sum of the leading unchanged paths and
+//     re-keys only the paths at and after the first change on (length,
+//     gain) — environmental trials pay only for the moving chains. The
+//     summation still runs over all paths in the original order, so the
+//     output is bit-identical to an uncached evaluation.
 //
 // The cache never covers noise: MeasureInto draws its Gaussians after
 // ResponseInto returns, so RNG draw order is untouched by hits or misses.
@@ -205,11 +240,24 @@ type respCache struct {
 	// lens[pair*nPaths+pi]; NaN forces a recompute (NaN == x is false for
 	// every x, including NaN).
 	lens []float64
-	// series holds the cached phasor series laid out as
-	// series[(pair*nSub+sc)*nPaths+pi], so the per-subcarrier summation
-	// over paths walks contiguous memory exactly like the uncached
-	// accumulator loop.
-	series []complex128
+	// ph0 and rot memoize each chain's initial phasor and per-subcarrier
+	// rotation at [pair*nPaths+pi] — the struct-of-arrays replacement for
+	// the old per-subcarrier series (two complex128 per chain instead of
+	// Subcarriers of them).
+	ph0, rot []complex128
+	// pref memoizes, at [pair*nSub+sc], the ordered per-subcarrier partial
+	// sum of paths [0, prefLen) — always a prefix of the path order, so
+	// seeding an accumulator with it preserves the exact addition sequence.
+	pref      []complex128
+	prefLen   int
+	prefValid bool
+
+	// shadowDB/shadowScale memoize the 10^(dB/20) conversion of the last
+	// shadow-field value; shadowOK distinguishes "never computed" from a
+	// genuine 0 dB. Same input, same Pow, same bits.
+	shadowDB    float64
+	shadowScale float64
+	shadowOK    bool
 
 	hits, misses, pathEvals, pathReuses uint64
 }
@@ -286,6 +334,11 @@ func NewAt(cfg Config, ap geom.Point, scen *mobility.Scenario, rng *stats.RNG) *
 	if len(m.subFreqs) > 1 {
 		m.df = m.subFreqs[1] - m.subFreqs[0]
 	}
+	m.csiNoiseScale = math.Pow(10, -cfg.CSINoiseSNRdB/20)
+	m.pow075OK = (cfg.PathLossExponent-2)/2 == 0.75 && pow075Exact
+	// The AVX2 fused sweep walks pair columns two at a time over whole
+	// four-subcarrier groups; other shapes keep the per-pair Go sweep.
+	m.fused = fusedSweepOK && cfg.NTx*cfg.NRx%2 == 0 && cfg.Subcarriers > 0 && cfg.Subcarriers%4 == 0
 	m.paths = make([]path, 0, 1+len(scen.Scatterers))
 	m.contribs = make([]complex128, 0, 1+len(scen.Scatterers))
 	m.rots = make([]complex128, 0, 1+len(scen.Scatterers))
@@ -322,18 +375,28 @@ func (m *Model) ResponseInto(t float64, h *csi.Matrix) *csi.Matrix {
 	client := m.scen.Client.At(t)
 	if h == nil {
 		h = csi.NewMatrix(m.cfg.Subcarriers, m.cfg.NTx, m.cfg.NRx)
-	} else {
-		if h.Subcarriers != m.cfg.Subcarriers || h.NTx != m.cfg.NTx || h.NRx != m.cfg.NRx {
-			panic("channel: ResponseInto buffer has wrong dimensions for this model")
-		}
-		h.Zero()
+	} else if h.Subcarriers != m.cfg.Subcarriers || h.NTx != m.cfg.NTx || h.NRx != m.cfg.NRx {
+		// No Zero() on reuse: every evaluation strategy overwrites the
+		// full matrix.
+		panic("channel: ResponseInto buffer has wrong dimensions for this model")
 	}
 
-	// Gather path endpoints once: LoS plus one bounce per scatterer.
+	// Gather path endpoints once: LoS plus one bounce per scatterer. When
+	// the shared-geometry cache is primed at exactly this instant, the
+	// memoized Traj.At values substitute for recomputing them — identical
+	// bits by pure-function memoization (sharedgeom.go).
+	m.sharedHot = m.shared != nil && m.shared.primed && m.shared.t == t
 	m.paths = m.paths[:0]
 	m.paths = append(m.paths, path{gain: m.losGain})
-	for _, sc := range m.scen.Scatterers {
-		m.paths = append(m.paths, path{gain: sc.Reflectivity, via: sc.Traj.At(t), bounce: true})
+	if m.sharedHot {
+		vias := m.shared.vias
+		for si, sc := range m.scen.Scatterers {
+			m.paths = append(m.paths, path{gain: sc.Reflectivity, via: vias[si], bounce: true})
+		}
+	} else {
+		for _, sc := range m.scen.Scatterers {
+			m.paths = append(m.paths, path{gain: sc.Reflectivity, via: sc.Traj.At(t), bounce: true})
+		}
 	}
 
 	if m.cfg.DisableCache {
@@ -403,9 +466,9 @@ func (m *Model) responseUncached(client geom.Point, h *csi.Matrix) {
 }
 
 // responseCached evaluates the response through the coherence cache: a
-// whole-matrix copy on an epoch hit, otherwise per-path incremental
-// recomputation followed by the same path-order summation as the uncached
-// path. See respCache for the bit-identity argument.
+// whole-matrix copy on an epoch hit, otherwise one of the two batched
+// kernel strategies (kernel.go) followed by the same path-order summation
+// as the uncached path. See respCache for the bit-identity argument.
 func (m *Model) responseCached(client geom.Point, h *csi.Matrix) {
 	c := &m.cache
 	nPaths := len(m.paths)
@@ -426,8 +489,21 @@ func (m *Model) responseCached(client geom.Point, h *csi.Matrix) {
 		for i := range c.lens {
 			c.lens[i] = math.NaN()
 		}
-		c.series = make([]complex128, nPairs*nSub*nPaths)
+		c.ph0 = make([]complex128, nPairs*nPaths)
+		c.rot = make([]complex128, nPairs*nPaths)
+		m.legsTx = make([]float64, m.cfg.NTx*nPaths)
+		m.legsRx = make([]float64, m.cfg.NRx*nPaths)
+		m.amps = make([]float64, nPaths)
+		m.powIdx = make([]int32, nPaths)
+		if m.fused {
+			m.contribsP = make([]complex128, nPairs*nPaths)
+			m.rotsP = make([]complex128, nPairs*nPaths)
+		}
+		if c.pref == nil {
+			c.pref = make([]complex128, nPairs*nSub)
+		}
 		c.epochValid = false
+		c.prefValid = false
 	}
 
 	if c.epochValid && client == c.client && c.sameGeometry(m.paths) {
@@ -437,72 +513,25 @@ func (m *Model) responseCached(client geom.Point, h *csi.Matrix) {
 	}
 	c.misses++
 
-	lambdaScale := m.cfg.Wavelength() / (4 * math.Pi)
-	data := h.Data()
-	stride := nPairs
-	for txi, txOff := range m.apAnts {
-		txPos := m.ap.Add(txOff)
-		for rxi, rxOff := range m.clientAnts {
-			rxPos := client.Add(rxOff)
-			pair := txi*m.cfg.NRx + rxi
-			lens := c.lens[pair*nPaths : (pair+1)*nPaths]
-			series := c.series[pair*nSub*nPaths : (pair+1)*nSub*nPaths]
-			for pi, p := range m.paths {
-				var length float64
-				if p.bounce {
-					length = txPos.Dist(p.via) + p.via.Dist(rxPos)
-				} else {
-					length = txPos.Dist(rxPos)
-				}
-				if length < 0.1 {
-					length = 0.1
-				}
-				// (length, gain) fully determine this pair's phasor series:
-				// amp is a pure function of them and the fixed config, and
-				// the chain below is a pure function of amp and length.
-				// Gains are compared against the previous epoch's values
-				// (c.gains is only rewritten by commit), so every pair sees
-				// the same stale-or-fresh verdict.
-				if length == lens[pi] && p.gain == c.gains[pi] {
-					c.pathReuses++
-					continue
-				}
-				c.pathEvals++
-				lens[pi] = length
-				amp := p.gain * lambdaScale / length
-				// Indoor excess path loss beyond the breakpoint.
-				if bp := m.cfg.PathLossBreakM; bp > 0 && length > bp && m.cfg.PathLossExponent > 2 {
-					amp *= math.Pow(bp/length, (m.cfg.PathLossExponent-2)/2)
-				}
-				// The chain is the uncached accumulator verbatim: the value
-				// summed at subcarrier sc is the initial phasor advanced by
-				// sc sequential multiplies, so the stored series is
-				// bit-identical to what the uncached loop would have added.
-				ph := cmplx.Rect(amp, -2*math.Pi*m.f0*length/SpeedOfLight)
-				rot := cmplx.Rect(1, -2*math.Pi*m.df*length/SpeedOfLight)
-				for sc := 0; sc < nSub; sc++ {
-					series[sc*nPaths+pi] = ph
-					ph *= rot
-				}
-			}
-			// Sum in the original path order; the [sc][path] layout makes
-			// this walk contiguous memory like the uncached contribs slice.
-			idx := pair
-			for sc := 0; sc < nSub; sc++ {
-				row := series[sc*nPaths : sc*nPaths+nPaths]
-				sum := complex(0, 0)
-				for pi := range row {
-					sum += row[pi]
-				}
-				data[idx] = sum
-				idx += stride
-			}
-		}
+	// Resolve the position-dependent shadowing factor first: it depends
+	// only on the client position, and the fused sweep folds it into the
+	// finished sums (the exact Matrix.Scale per-entry operation) instead
+	// of re-walking the matrix in a separate pass.
+	shadowDB := m.shadow.at(client)
+	if !c.shadowOK || shadowDB != c.shadowDB {
+		c.shadowDB = shadowDB
+		c.shadowScale = math.Pow(10, shadowDB/20)
+		c.shadowOK = true
 	}
 
-	// Apply position-dependent shadowing as a real wideband gain factor.
-	shadowDB := m.shadow.at(client)
-	h.Scale(math.Pow(10, shadowDB/20))
+	if !c.epochValid || client != c.client {
+		m.evalDirect(client, h)
+	} else {
+		m.evalIncremental(client, h)
+	}
+	if !m.fused {
+		h.Scale(c.shadowScale)
+	}
 
 	// Commit the epoch key and the post-shadow matrix for the next call.
 	c.client = client
@@ -510,7 +539,7 @@ func (m *Model) responseCached(client geom.Point, h *csi.Matrix) {
 		c.vias[pi] = p.via
 		c.gains[pi] = p.gain
 	}
-	copy(c.resp.Data(), data)
+	copy(c.resp.Data(), h.Data())
 	c.epochValid = true
 }
 
@@ -543,7 +572,7 @@ func (m *Model) MeasureInto(t float64, h *csi.Matrix) Sample {
 	// entries are drawn in storage order (sc, tx, rx), which linear
 	// iteration over the backing array preserves.
 	rms := math.Sqrt(h.AvgPower())
-	sigma := rms * math.Pow(10, -m.cfg.CSINoiseSNRdB/20) / math.Sqrt2
+	sigma := rms * m.csiNoiseScale / math.Sqrt2
 	data := h.Data()
 	for i := range data {
 		data[i] += complex(m.noise.Gaussian(0, sigma), m.noise.Gaussian(0, sigma))

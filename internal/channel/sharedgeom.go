@@ -1,0 +1,91 @@
+package channel
+
+import (
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/mobility"
+)
+
+// SharedGeometry memoizes, for one AP and one scatterer population, the
+// client-independent half of the response geometry at a single instant:
+// every scatterer's position and every AP-antenna-to-scatterer leg
+// distance. In a shared-scene fleet those values are identical for every
+// client of the AP, so the fleet stepper evaluates them once per tick
+// (Prime) instead of once per client per tick; each client's Model reads
+// them through AttachShared.
+//
+// Bit-identity: Traj.At(t) is a pure function of (track, t) and
+// txPos.Dist(via) a pure function of its operands, so a model consuming
+// the memoized values computes exactly the floats it would have computed
+// itself — pure-function memoization, the same argument the response
+// cache's phasor memo rests on. A model whose evaluation time does not
+// match the primed instant (frame-granular MAC calls, unprimed runs)
+// silently falls back to computing both itself.
+//
+// Concurrency: Prime mutates and must be called with no concurrent
+// readers (the stepper primes serially at the tick boundary); between
+// Prime calls the struct is read-only and any number of Models may read
+// it from different goroutines.
+type SharedGeometry struct {
+	ap     geom.Point
+	apAnts []geom.Vector
+	scats  []mobility.ScattererTrack
+
+	t      float64
+	primed bool
+	// vias[si] is scats[si].Traj.At(t); legsTx[txi*len(scats)+si] is the
+	// distance from AP antenna txi to vias[si].
+	vias   []geom.Point
+	legsTx []float64
+}
+
+// NewSharedGeometry builds the shared cache for one AP position and the
+// scatterer population every attached model's scenario must alias. The
+// antenna array is derived from cfg exactly as NewAt derives it, so the
+// leg distances match the attached models' own geometry.
+func NewSharedGeometry(cfg Config, ap geom.Point, scats []mobility.ScattererTrack) *SharedGeometry {
+	g := &SharedGeometry{
+		ap:     ap,
+		scats:  scats,
+		vias:   make([]geom.Point, len(scats)),
+		legsTx: make([]float64, cfg.NTx*len(scats)),
+	}
+	lambda := cfg.Wavelength()
+	for i := 0; i < cfg.NTx; i++ {
+		g.apAnts = append(g.apAnts, geom.Vec(float64(i)*lambda/2, 0))
+	}
+	return g
+}
+
+// Prime evaluates the scatterer positions and AP-side leg distances at t,
+// replacing whatever instant was primed before. Serial use only; see the
+// concurrency note on SharedGeometry.
+func (g *SharedGeometry) Prime(t float64) {
+	nScat := len(g.scats)
+	for si := range g.scats {
+		g.vias[si] = g.scats[si].Traj.At(t)
+	}
+	for txi, txOff := range g.apAnts {
+		txPos := g.ap.Add(txOff)
+		legs := g.legsTx[txi*nScat : (txi+1)*nScat]
+		for si := range g.vias {
+			legs[si] = txPos.Dist(g.vias[si])
+		}
+	}
+	g.t = t
+	g.primed = true
+}
+
+// AttachShared points the model at a shared geometry cache. The cache
+// must have been built for this model's AP position, antenna count and
+// the same scatterer slice as the model's scenario (the path order —
+// LoS first, then scatterers in slice order — is what lets the model
+// index the cached legs by path). Attach nil to detach.
+func (m *Model) AttachShared(g *SharedGeometry) {
+	if g != nil {
+		if g.ap != m.ap || len(g.apAnts) != len(m.apAnts) || len(g.scats) != len(m.scen.Scatterers) {
+			panic("channel: AttachShared geometry does not match this model's AP/antennas/scatterers")
+		}
+	}
+	m.shared = g
+	m.sharedHot = false
+}

@@ -1,0 +1,92 @@
+package channel
+
+import (
+	"testing"
+
+	"mobiwlan/internal/csi"
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+)
+
+// TestSharedGeometryBitIdentical drives two models of the same scenario
+// and seed — one attached to a primed SharedGeometry, one plain — through
+// a time series where only some instants are primed. Primed instants must
+// take the memoized fast path, unprimed ones the fallback, and every
+// response and measurement must match bit-for-bit either way.
+func TestSharedGeometryBitIdentical(t *testing.T) {
+	for _, mode := range mobility.AllModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			scfg := mobility.DefaultSceneConfig()
+			build := func(rng *stats.RNG) *mobility.Scenario {
+				return mobility.NewScenario(mode, scfg, rng)
+			}
+			cfg := DefaultConfig()
+			seed := uint64(31 + mode)
+			shared := New(cfg, build(stats.NewRNG(seed)), stats.NewRNG(seed+1))
+			plain := New(cfg, build(stats.NewRNG(seed)), stats.NewRNG(seed+1))
+
+			g := NewSharedGeometry(cfg, shared.AP(), shared.scen.Scatterers)
+			shared.AttachShared(g)
+
+			times := []float64{0, 0.05, 0.05, 0.1, 0.17, 0.7, 0.7, 1.3}
+			primed := map[float64]bool{0: true, 0.1: true, 0.7: true}
+			var hs, hp *csi.Matrix
+			hotSeen := false
+			for _, tt := range times {
+				if primed[tt] {
+					g.Prime(tt)
+				}
+				hs = shared.ResponseInto(tt, hs)
+				hp = plain.ResponseInto(tt, hp)
+				if shared.sharedHot != primed[tt] {
+					t.Fatalf("t=%v: sharedHot=%v, want %v", tt, shared.sharedHot, primed[tt])
+				}
+				hotSeen = hotSeen || shared.sharedHot
+				requireSameBits(t, "shared-vs-plain", tt, hs, hp)
+			}
+			if !hotSeen {
+				t.Fatal("no instant exercised the shared fast path")
+			}
+			// Measurements draw noise after the response; identical
+			// responses must leave the draw streams in lockstep.
+			for _, tt := range []float64{1.4, 1.4, 1.45} {
+				g.Prime(tt)
+				ss := shared.MeasureInto(tt, hs)
+				sp := plain.MeasureInto(tt, hp)
+				hs, hp = ss.CSI, sp.CSI
+				requireSameBits(t, "measure", tt, ss.CSI, sp.CSI)
+				if ss.RSSIdBm != sp.RSSIdBm {
+					t.Fatalf("t=%v: RSSI %v vs %v", tt, ss.RSSIdBm, sp.RSSIdBm)
+				}
+			}
+		})
+	}
+}
+
+// TestAttachSharedValidates pins the mismatch panics: a geometry built
+// for a different AP or scatterer set must be rejected at attach time,
+// not misindexed at evaluation time.
+func TestAttachSharedValidates(t *testing.T) {
+	scfg := mobility.DefaultSceneConfig()
+	scen := mobility.NewScenario(mobility.Static, scfg, stats.NewRNG(1))
+	other := mobility.NewScenario(mobility.Environmental, scfg, stats.NewRNG(2))
+	cfg := DefaultConfig()
+	m := New(cfg, scen, stats.NewRNG(3))
+
+	mustPanic := func(name string, g *SharedGeometry) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: AttachShared did not panic", name)
+			}
+		}()
+		m.AttachShared(g)
+	}
+	mustPanic("wrong scatterer count", NewSharedGeometry(cfg, m.AP(), other.Scatterers))
+	mustPanic("wrong AP", NewSharedGeometry(cfg, m.AP().Add(geom.Vec(1, 0)), scen.Scatterers))
+
+	m.AttachShared(NewSharedGeometry(cfg, m.AP(), scen.Scatterers))
+	m.AttachShared(nil) // detach is legal
+}

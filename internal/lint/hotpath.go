@@ -89,6 +89,14 @@ func (s span) contains(p token.Pos) bool { return p >= s.lo && p < s.hi }
 type hotpathPass struct {
 	mctx *ModuleContext
 	prog *Program
+	// asmHot holds module-internal body-less declarations (assembly
+	// stubs) annotated //mobilint:hotpath. The call graph has no node
+	// for them — there is no Go body to scan — so calls resolve as
+	// Extern sites. The annotation is the author's assertion that the
+	// assembly is allocation-free, and the annotation contract forces
+	// a dynamic AllocsPerRun pin for every annotated function, so the
+	// assertion is verified at test time rather than statically.
+	asmHot map[*types.Func]bool
 	// cold caches per-node cold spans.
 	cold map[*FuncNode][]span
 	// sites caches per-node call-site lookup by expression.
@@ -100,14 +108,29 @@ type hotpathPass struct {
 }
 
 func newHotpathPass(mctx *ModuleContext) *hotpathPass {
-	return &hotpathPass{
+	h := &hotpathPass{
 		mctx:    mctx,
 		prog:    mctx.Prog,
+		asmHot:  map[*types.Func]bool{},
 		cold:    map[*FuncNode][]span{},
 		sites:   map[*FuncNode]map[*ast.CallExpr]*CallSite{},
 		chain:   map[*FuncNode]string{},
 		scanned: map[*FuncNode]bool{},
 	}
+	for _, pkg := range h.prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body != nil || !h.prog.ann.hotpath[fd] {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					h.asmHot[obj] = true
+				}
+			}
+		}
+	}
+	return h
 }
 
 func (h *hotpathPass) run() {
@@ -396,6 +419,9 @@ func (h *hotpathPass) scanCall(n *FuncNode, call *ast.CallExpr, sites map[*ast.C
 			pkg = site.Extern.Pkg().Path()
 		}
 		switch {
+		case h.asmHot[site.Extern]:
+			// Annotated in-module assembly stub: alloc-free by the
+			// annotation contract, verified by its AllocsPerRun pin.
 		case hotAllowFuncs[name] || hotAllowPkgs[pkg]:
 			// proven free
 		case hotBanPkgs[pkg]:

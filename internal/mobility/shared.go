@@ -1,0 +1,86 @@
+package mobility
+
+import (
+	"mobiwlan/internal/geom"
+	"mobiwlan/internal/stats"
+)
+
+// Shared-scene fleets: every client walks the same building, so all
+// scenarios alias ONE scatterer population. That aliasing is the
+// precondition for channel.SharedGeometry — scatterer trajectories
+// evaluated once per tick serve every client — and it is also the more
+// physical fleet model: a building's walls, furniture and passers-by do
+// not multiply with the number of phones inside it.
+
+// NewSharedScenarios generates n ground-truth-labeled scenarios that all
+// share one scatterer set (the returned scenarios alias the same
+// Scatterers slice — do not mutate it per client). Modes are assigned
+// round-robin over the four classes, like RunWLANFleet's mix. Moving
+// scatterers are anchored near the environmental clients' spots (spread
+// round-robin when there are several), so those clients see the motion
+// strongly while distant clients see it attenuated by path loss — which
+// means a nominally static client close to an anchor genuinely
+// experiences environmental mobility; the label records the client's own
+// behaviour, not the neighbourhood's.
+//
+// Every trajectory derives from rng splits keyed by role and client
+// index, so the scene is byte-reproducible from the seed alone and
+// independent of evaluation order.
+func NewSharedScenarios(n int, cfg SceneConfig, rng *stats.RNG) []*Scenario {
+	if n <= 0 {
+		return nil
+	}
+	shared := staticScatterers(cfg, cfg.StaticScatterers, rng.Split(1))
+
+	// Client spots and trajectories first: the mover anchors depend on
+	// where the environmental clients ended up.
+	type clientPick struct {
+		mode Mode
+		spot geom.Point
+		rng  *stats.RNG
+	}
+	picks := make([]clientPick, n)
+	var envSpots []geom.Point
+	for i := range picks {
+		crng := rng.Split(100 + uint64(i))
+		mode := AllModes[i%len(AllModes)]
+		spot := randomClientSpot(cfg, crng)
+		picks[i] = clientPick{mode: mode, spot: spot, rng: crng}
+		if mode == Environmental {
+			envSpots = append(envSpots, spot)
+		}
+	}
+	if cfg.MovingScatterers > 0 {
+		moverRNG := rng.Split(3)
+		if len(envSpots) == 0 {
+			envSpots = []geom.Point{cfg.Bounds.Center()}
+		}
+		for k := 0; k < cfg.MovingScatterers; k++ {
+			anchor := envSpots[k%len(envSpots)].Lerp(cfg.AP, 0.5)
+			shared = append(shared, movingScatterers(cfg, anchor, 1, moverRNG.Split(uint64(k)))...)
+		}
+	}
+
+	out := make([]*Scenario, n)
+	for i, p := range picks {
+		s := &Scenario{
+			Label:      p.mode,
+			Heading:    HeadingNone,
+			Duration:   cfg.Duration,
+			AP:         cfg.AP,
+			Scatterers: shared,
+		}
+		switch p.mode {
+		case Static, Environmental:
+			s.Client = Fixed(p.spot)
+		case Micro:
+			s.Client = NewConfinedJitter(p.spot, cfg.MicroRadius,
+				p.rng.Range(0.3, 1.0), p.rng)
+		case Macro:
+			path := RandomWalkPath(p.spot, cfg.Bounds, 5, 6, 15, p.rng)
+			s.Client = WaypointWalk{Path: path, Speed: cfg.WalkSpeed, PingPong: true}
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mobiwlan/internal/mobility"
+	"mobiwlan/internal/stats"
+)
+
+// TestSharedFleetDeterministicAcrossJobs pins the stepper's sharding
+// contract: the same seed must produce identical results at any worker
+// count, including more workers than clients.
+func TestSharedFleetDeterministicAcrossJobs(t *testing.T) {
+	base := RunSharedFleet(SharedFleetOptions{Clients: 6, Jobs: 1, Duration: 6}, 99)
+	for _, jobs := range []int{2, 4, 32} {
+		got := RunSharedFleet(SharedFleetOptions{Clients: 6, Jobs: jobs, Duration: 6}, 99)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("jobs=%d diverges from jobs=1:\n%+v\nvs\n%+v", jobs, base, got)
+		}
+	}
+}
+
+// TestSharedFleetSharedMatchesUnshared is the layer-2 equivalence pin:
+// priming the shared geometry must change nothing but cost. Every
+// per-client outcome — classification counts included, which sit behind
+// the full CSI + noise pipeline — must be identical with sharing on and
+// off.
+func TestSharedFleetSharedMatchesUnshared(t *testing.T) {
+	on := RunSharedFleet(SharedFleetOptions{Clients: 8, Jobs: 2, Duration: 8}, 7)
+	off := RunSharedFleet(SharedFleetOptions{Clients: 8, Jobs: 2, Duration: 8, DisableShared: true}, 7)
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("shared geometry changed results:\n%+v\nvs\n%+v", on, off)
+	}
+}
+
+// TestSharedFleetShape checks the harness wiring: mode round-robin,
+// client order, tick count, and that a long-enough run classifies a
+// clearly majority of post-warmup ticks correctly (the scene is the
+// paper's office; the classifier is the paper's).
+func TestSharedFleetShape(t *testing.T) {
+	res := RunSharedFleet(SharedFleetOptions{Clients: 8, Duration: 20}, 3)
+	if len(res.PerClient) != 8 {
+		t.Fatalf("got %d client results, want 8", len(res.PerClient))
+	}
+	for i, c := range res.PerClient {
+		if c.Client != i {
+			t.Fatalf("client %d reported index %d", i, c.Client)
+		}
+		if want := mobility.AllModes[i%len(mobility.AllModes)]; c.Mode != want {
+			t.Fatalf("client %d mode %v, want %v", i, c.Mode, want)
+		}
+		if c.Ticks == 0 {
+			t.Fatalf("client %d sampled no post-warmup ticks", i)
+		}
+	}
+	if res.Ticks == 0 {
+		t.Fatal("no ticks simulated")
+	}
+	if res.Accuracy < 0.5 {
+		t.Fatalf("fleet accuracy %.2f implausibly low for the default scene", res.Accuracy)
+	}
+}
+
+// TestSharedFleetEmpty pins the degenerate inputs.
+func TestSharedFleetEmpty(t *testing.T) {
+	if res := RunSharedFleet(SharedFleetOptions{}, 1); len(res.PerClient) != 0 || res.Ticks != 0 {
+		t.Fatalf("zero-client fleet produced %+v", res)
+	}
+}
+
+// TestSharedScenariosAlias pins the aliasing contract RunSharedFleet's
+// geometry sharing rests on: every scenario from NewSharedScenarios sees
+// the very same scatterer slice.
+func TestSharedScenariosAlias(t *testing.T) {
+	scfg := mobility.DefaultSceneConfig()
+	scens := mobility.NewSharedScenarios(5, scfg, stats.NewRNG(4))
+	if len(scens) != 5 {
+		t.Fatalf("got %d scenarios", len(scens))
+	}
+	for i, s := range scens[1:] {
+		if len(s.Scatterers) != len(scens[0].Scatterers) || &s.Scatterers[0] != &scens[0].Scatterers[0] {
+			t.Fatalf("scenario %d does not alias the shared scatterer slice", i+1)
+		}
+	}
+	if len(scens[0].Scatterers) <= scfg.StaticScatterers {
+		t.Fatalf("shared scene has %d scatterers, expected walls and movers on top of %d static",
+			len(scens[0].Scatterers), scfg.StaticScatterers)
+	}
+}

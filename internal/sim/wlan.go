@@ -125,6 +125,12 @@ type wlanClient struct {
 	nextTick    float64
 	lastFlush   float64
 	csiBuf      *csi.Matrix
+	// infraRSSI/approaching back the per-tick roaming Observation. The
+	// policies consume the slices inside Decide and never retain them
+	// (roaming.go), so one pair per client replaces two allocations per
+	// roaming tick.
+	infraRSSI   []float64
+	approaching []bool
 
 	// Pending frame between advance() and transmit().
 	pendMCS phy.MCS
@@ -157,6 +163,8 @@ func newWLANClient(scen *mobility.Scenario, opt WLANOptions, seed uint64, apIdx 
 		medRNG:        rng.Split(888),
 		noiseFloorDBm: opt.Plan.Channel.NoiseFloorDBm,
 		busyUntil:     -1,
+		infraRSSI:     make([]float64, nAP),
+		approaching:   make([]bool, nAP),
 	}
 	for i, ap := range opt.Plan.APs {
 		gi := uint64(apIdx[i])
@@ -271,9 +279,9 @@ func (c *wlanClient) advance() bool {
 			view := roaming.Observation{
 				T:           t,
 				Cur:         c.cur,
-				InfraRSSI:   make([]float64, len(c.links)),
+				InfraRSSI:   c.infraRSSI,
 				State:       c.cls.State(),
-				Approaching: make([]bool, len(c.links)),
+				Approaching: c.approaching,
 			}
 			for i, l := range c.links {
 				s := l.Chan.MeasureInto(t, c.csiBuf)

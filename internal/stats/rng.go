@@ -7,7 +7,11 @@
 // is reproducible from a single 64-bit seed.
 package stats
 
-import "math"
+import (
+	"math"
+
+	"mobiwlan/internal/fastmath"
+)
 
 // RNG is a small, fast, deterministic pseudo-random generator based on
 // SplitMix64 for stream splitting and xoshiro256**-style output mixing.
@@ -83,6 +87,16 @@ func (r *RNG) NormFloat64() float64 {
 	}
 	v = r.Float64()
 	mag := math.Sqrt(-2 * math.Log(u))
+	if fastmath.SincosExact {
+		// One branchless reduction serves both variates; bit-identical
+		// to the separate Sin and Cos calls below (fastmath's probe pins
+		// all three against each other), without the octant mispredicts
+		// that random angles inflict on the branchy library ladder.
+		s, c := fastmath.Sincos(2 * math.Pi * v)
+		r.spare = mag * s
+		r.hasSpare = true
+		return mag * c
+	}
 	r.spare = mag * math.Sin(2*math.Pi*v)
 	r.hasSpare = true
 	return mag * math.Cos(2*math.Pi*v)
